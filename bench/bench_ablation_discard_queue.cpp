@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation of the Section 5.5 design choice: the dedicated discarded
+ * FIFO in the eviction order (free -> unused -> discarded ->
+ * used-LRU).  With the queue disabled, discarded chunks stay on the
+ * used LRU: their reclamation still skips the transfer, but the
+ * eviction process no longer *prioritizes* them, so live data gets
+ * evicted while dead data occupies memory.
+ */
+
+#include "bench_util.hpp"
+#include "workloads/fir.hpp"
+#include "workloads/hash_join.hpp"
+
+int
+main()
+{
+    using namespace uvmd;
+    using namespace uvmd::bench;
+    using namespace uvmd::workloads;
+
+    banner("Ablation: discarded page queue (Section 5.5)");
+
+    trace::Table table("UvmDiscard with/without the discarded queue "
+                       "(PCIe-4, 200% oversubscription)");
+    table.header({"Workload", "Queue", "Runtime (ms)", "Traffic (GB)",
+                  "Used-LRU evictions", "Discard-queue evictions"});
+
+    for (bool queue_enabled : {true, false}) {
+        uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+        cfg.discard_queue_enabled = queue_enabled;
+
+        FirParams fir;
+        fir.ovsp_ratio = 2.0;
+        RunResult fr = runFir(System::kUvmDiscard, fir,
+                              interconnect::LinkSpec::pcie4(), cfg);
+        table.row({"FIR", queue_enabled ? "on" : "off",
+                   trace::fmt(sim::toMilliseconds(fr.elapsed), 1),
+                   trace::fmt(fr.trafficGb()),
+                   std::to_string(fr.evictions_used),
+                   std::to_string(fr.evictions_discarded)});
+
+        HashJoinParams hj;
+        hj.ovsp_ratio = 2.0;
+        RunResult hr = runHashJoin(System::kUvmDiscard, hj,
+                                   interconnect::LinkSpec::pcie4(),
+                                   cfg);
+        table.row({"Hash-join", queue_enabled ? "on" : "off",
+                   trace::fmt(sim::toMilliseconds(hr.elapsed), 1),
+                   trace::fmt(hr.trafficGb()),
+                   std::to_string(hr.evictions_used),
+                   std::to_string(hr.evictions_discarded)});
+    }
+    table.print();
+    table.writeCsv("ablation_discard_queue.csv");
+
+    std::printf("\nExpected: with the queue off, used-LRU evictions "
+                "replace discarded-queue reclaims; evicting a block "
+                "still skips transfers for its discarded pages, but "
+                "live data is evicted earlier, raising traffic and "
+                "runtime.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation of the used-queue victim policy.  The paper's driver keeps
+ * a pseudo-LRU used queue (Section 5.5); this harness quantifies that
+ * choice against FIFO and random victim selection, on the FIR stream
+ * (LRU-friendly: dead windows age out) and the hash-join pipeline
+ * (mixed lifetimes) at 200% oversubscription — with and without the
+ * discard directive, which makes victim choice much less important
+ * because dead pages are reclaimed before any used victim is needed.
+ */
+
+#include "bench_util.hpp"
+#include "workloads/fir.hpp"
+#include "workloads/hash_join.hpp"
+
+int
+main()
+{
+    using namespace uvmd;
+    using namespace uvmd::bench;
+    using namespace uvmd::workloads;
+
+    banner("Ablation: used-queue eviction policy (LRU vs FIFO vs "
+           "random)");
+
+    const uvm::EvictionPolicy policies[] = {
+        uvm::EvictionPolicy::kLru, uvm::EvictionPolicy::kFifo,
+        uvm::EvictionPolicy::kRandom};
+
+    // Smaller footprints keep the O(n) policy scans cheap.
+    FirParams fir;
+    fir.input_bytes = 1'200'000'000;
+    fir.window_bytes = 64 * sim::kMiB;
+    fir.state_bytes = 256 * sim::kMiB;
+    fir.output_bytes = 16 * sim::kMiB;
+    fir.ovsp_ratio = 2.0;
+
+    HashJoinParams hj;
+    hj.table_bytes = 300'000'000;
+    hj.partition_bytes = 300'000'000;
+    hj.workspace_bytes = 100'000'000;
+    hj.result_bytes = 200'000'000;
+    hj.rounds = 2;
+    hj.ovsp_ratio = 2.0;
+
+    uvm::UvmConfig base = uvm::UvmConfig::rtx3080ti();
+    base.gpu_memory = 2 * sim::kGiB;
+
+    trace::Table table("200% oversubscription, PCIe-4");
+    table.header({"Workload", "System", "Policy", "Runtime (ms)",
+                  "Traffic (GB)"});
+    for (System sys : {System::kUvmOpt, System::kUvmDiscard}) {
+        for (uvm::EvictionPolicy policy : policies) {
+            uvm::UvmConfig cfg = base;
+            cfg.eviction_policy = policy;
+            RunResult fr = runFir(sys, fir,
+                                  interconnect::LinkSpec::pcie4(), cfg);
+            table.row({"FIR", toString(sys), uvm::toString(policy),
+                       trace::fmt(sim::toMilliseconds(fr.elapsed), 1),
+                       trace::fmt(fr.trafficGb())});
+        }
+    }
+    for (System sys : {System::kUvmOpt, System::kUvmDiscard}) {
+        for (uvm::EvictionPolicy policy : policies) {
+            uvm::UvmConfig cfg = base;
+            cfg.eviction_policy = policy;
+            RunResult hr = runHashJoin(
+                sys, hj, interconnect::LinkSpec::pcie4(), cfg);
+            table.row({"Hash-join", toString(sys),
+                       uvm::toString(policy),
+                       trace::fmt(sim::toMilliseconds(hr.elapsed), 1),
+                       trace::fmt(hr.trafficGb())});
+        }
+    }
+    table.print();
+    table.writeCsv("ablation_eviction_policy.csv");
+
+    std::printf("\nExpected: under UVM-opt the victim policy matters "
+                "(LRU respects the streams' age-out order); under "
+                "UvmDiscard the discarded queue absorbs most of the "
+                "pressure before any used victim is chosen, shrinking "
+                "the policy's influence.\n");
+    return 0;
+}

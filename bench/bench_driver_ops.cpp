@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the driver model's hot paths —
+ * these measure *host* wall-clock of the simulator itself (block
+ * lookup, page-queue churn, discard bitmap work, the access fast
+ * path), not simulated time.  They guard against performance
+ * regressions that would make the figure sweeps impractically slow.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "interconnect/link.hpp"
+#include "uvm/driver.hpp"
+
+namespace {
+
+using namespace uvmd;
+
+uvm::UvmConfig
+benchConfig()
+{
+    uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+    cfg.gpu_memory = 1024 * mem::kBigPageSize;
+    return cfg;
+}
+
+void
+BM_BlockLookup(benchmark::State &state)
+{
+    uvm::UvmDriver drv(benchConfig(), interconnect::LinkSpec::pcie4());
+    mem::VirtAddr base =
+        drv.allocManaged(512 * mem::kBigPageSize, "bench");
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        mem::VirtAddr addr =
+            base + (i++ % 512) * mem::kBigPageSize + 4096;
+        benchmark::DoNotOptimize(drv.vaSpace().blockOf(addr));
+    }
+}
+BENCHMARK(BM_BlockLookup);
+
+void
+BM_ResidentAccessFastPath(benchmark::State &state)
+{
+    uvm::UvmDriver drv(benchConfig(), interconnect::LinkSpec::pcie4());
+    sim::Bytes size = 256 * mem::kBigPageSize;
+    mem::VirtAddr base = drv.allocManaged(size, "bench");
+    sim::SimTime t =
+        drv.prefetch(base, size, uvm::ProcessorId::gpu(0), 0);
+    std::vector<uvm::Access> accesses{
+        {base, size, uvm::AccessKind::kReadWrite}};
+    for (auto _ : state)
+        t = drv.gpuAccess(0, accesses, t);
+    state.SetBytesProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_ResidentAccessFastPath);
+
+void
+BM_DiscardRearmCycle(benchmark::State &state)
+{
+    uvm::UvmDriver drv(benchConfig(), interconnect::LinkSpec::pcie4());
+    sim::Bytes size = 128 * mem::kBigPageSize;
+    mem::VirtAddr base = drv.allocManaged(size, "bench");
+    sim::SimTime t =
+        drv.prefetch(base, size, uvm::ProcessorId::gpu(0), 0);
+    auto mode = state.range(0) == 0 ? uvm::DiscardMode::kEager
+                                    : uvm::DiscardMode::kLazy;
+    for (auto _ : state) {
+        t = drv.discard(base, size, mode, t);
+        t = drv.prefetch(base, size, uvm::ProcessorId::gpu(0), t);
+    }
+    state.SetBytesProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_DiscardRearmCycle)->Arg(0)->Arg(1);
+
+void
+BM_EvictionCycle(benchmark::State &state)
+{
+    uvm::UvmConfig cfg = benchConfig();
+    cfg.gpu_memory = 64 * mem::kBigPageSize;
+    uvm::UvmDriver drv(cfg, interconnect::LinkSpec::pcie4());
+    sim::Bytes size = 64 * mem::kBigPageSize;
+    mem::VirtAddr a = drv.allocManaged(size, "a");
+    mem::VirtAddr b = drv.allocManaged(size, "b");
+    sim::SimTime t = 0;
+    for (auto _ : state) {
+        // Ping-pong two ranges through a framebuffer sized for one.
+        t = drv.prefetch(a, size, uvm::ProcessorId::gpu(0), t);
+        t = drv.prefetch(b, size, uvm::ProcessorId::gpu(0), t);
+    }
+    state.SetBytesProcessed(state.iterations() * 2 * size);
+}
+BENCHMARK(BM_EvictionCycle);
+
+void
+BM_HostRoundTrip(benchmark::State &state)
+{
+    uvm::UvmDriver drv(benchConfig(), interconnect::LinkSpec::pcie4());
+    sim::Bytes size = 64 * mem::kBigPageSize;
+    mem::VirtAddr base = drv.allocManaged(size, "bench");
+    sim::SimTime t = 0;
+    for (auto _ : state) {
+        t = drv.prefetch(base, size, uvm::ProcessorId::gpu(0), t);
+        t = drv.hostAccess(base, size, uvm::AccessKind::kReadWrite, t);
+    }
+    state.SetBytesProcessed(state.iterations() * 2 * size);
+}
+BENCHMARK(BM_HostRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Regenerates Figure 4: effective cudaMemPrefetchAsync throughput as
+ * a function of transfer size, on PCIe-3 and PCIe-4.  The rising,
+ * saturating curve is the Section 5.4 argument for operating the
+ * discard directive at 2 MB granularity.
+ *
+ * The series is measured end-to-end: the runtime issues a prefetch of
+ * each size against CPU-resident managed memory and the throughput is
+ * bytes over the simulated completion time.
+ */
+
+#include "bench_util.hpp"
+#include "cuda/runtime.hpp"
+
+namespace {
+
+using namespace uvmd;
+
+double
+measurePrefetchGbps(interconnect::LinkSpec link, sim::Bytes size)
+{
+    cuda::Runtime rt(uvm::UvmConfig::rtx3080ti(), link);
+    mem::VirtAddr buf = rt.mallocManaged(size, "fig4.buf");
+    rt.hostTouch(buf, size, uvm::AccessKind::kWrite);
+    sim::SimTime start = rt.now();
+    rt.prefetchAsync(buf, size, uvm::ProcessorId::gpu(0));
+    rt.synchronize();
+    return static_cast<double>(size) / (rt.now() - start);
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace uvmd;
+    using namespace uvmd::bench;
+
+    banner("Figure 4: cudaMemPrefetchAsync throughput vs size");
+
+    trace::Table fig("Effective prefetch throughput (GB/s)");
+    fig.header({"Transfer size", "PCIe-3", "PCIe-4"});
+    for (sim::Bytes size = 64 * sim::kKiB; size <= 512 * sim::kMiB;
+         size *= 2) {
+        fig.row({sim::formatBytes(size),
+                 trace::fmt(measurePrefetchGbps(
+                     interconnect::LinkSpec::pcie3(), size)),
+                 trace::fmt(measurePrefetchGbps(
+                     interconnect::LinkSpec::pcie4(), size))});
+    }
+    fig.print();
+    fig.writeCsv("fig4_prefetch_bw.csv");
+
+    std::printf("\nPaper Figure 4 shape: throughput rises with "
+                "transfer size and saturates near the link peak "
+                "(~12 GB/s on PCIe-3, ~25 GB/s on PCIe-4); small "
+                "transfers are dominated by per-transfer setup.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration harnesses.
+ *
+ * Every bench prints the measured table next to the paper's reported
+ * values.  Absolute magnitudes are not expected to match (the
+ * substrate is a simulator, not the authors' testbed); the shapes —
+ * who wins, by what rough factor, where the crossovers sit — are the
+ * reproduction target (see EXPERIMENTS.md).
+ */
+
+#ifndef UVMD_BENCH_BENCH_UTIL_HPP
+#define UVMD_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/report.hpp"
+#include "workloads/common.hpp"
+
+namespace uvmd::bench {
+
+inline void
+banner(const std::string &what)
+{
+    std::printf("\n############################################\n"
+                "# %s\n"
+                "############################################\n",
+                what.c_str());
+}
+
+/** The oversubscription ratios of the micro-benchmark tables. */
+inline const std::vector<double> &
+ovspRatios()
+{
+    static const std::vector<double> ratios{0.0, 2.0, 3.0, 4.0};
+    return ratios;
+}
+
+inline std::string
+ratioLabel(double ratio)
+{
+    if (ratio <= 1.0)
+        return "<100%";
+    return std::to_string(static_cast<int>(ratio * 100)) + "%";
+}
+
+}  // namespace uvmd::bench
+
+#endif  // UVMD_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared batch grids and sweep driver for the deep-learning figures
+ * (Figures 5, 6 and 7).
+ */
+
+#ifndef UVMD_BENCH_DL_SWEEP_HPP
+#define UVMD_BENCH_DL_SWEEP_HPP
+
+#include <functional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "workloads/dl/trainer.hpp"
+
+namespace uvmd::bench {
+
+/** Per-network batch grids spanning fits-in-memory through heavy
+ *  oversubscription, anchored on the Section 7.5 capacity points. */
+inline std::vector<int>
+batchGrid(const workloads::dl::NetSpec &net)
+{
+    if (net.name == "VGG-16")
+        return {40, 60, 75, 100, 125, 150};
+    if (net.name == "Darknet-19")
+        return {90, 135, 171, 240, 300, 360};
+    if (net.name == "ResNet-53")
+        return {28, 42, 56, 90, 120, 150};
+    return {75, 110, 150, 200, 250, 300};  // RNN
+}
+
+/**
+ * Run every (network, batch, system) combination on @p link and hand
+ * each result to @p consume.  No-UVM is skipped (as in the paper's
+ * figures) once the allocation no longer fits.
+ */
+inline void
+dlSweep(const std::vector<workloads::System> &systems,
+        interconnect::LinkSpec link,
+        const std::function<void(const workloads::dl::NetSpec &, int,
+                                 workloads::System,
+                                 const workloads::dl::TrainResult &)>
+            &consume)
+{
+    uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+    for (const auto &net : workloads::dl::NetSpec::all()) {
+        for (int batch : batchGrid(net)) {
+            for (workloads::System sys : systems) {
+                if (sys == workloads::System::kNoUvm &&
+                    net.allocBytes(batch) > cfg.gpu_memory) {
+                    continue;
+                }
+                workloads::dl::TrainParams p;
+                p.net = net;
+                p.batch_size = batch;
+                workloads::dl::TrainResult r =
+                    workloads::dl::runTraining(sys, p, link, cfg);
+                consume(net, batch, sys, r);
+            }
+        }
+    }
+}
+
+}  // namespace uvmd::bench
+
+#endif  // UVMD_BENCH_DL_SWEEP_HPP

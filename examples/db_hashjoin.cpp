@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Domain example: an out-of-core GPU database join.
+ *
+ * Uses the public workload API to run the Section 7.4 hash-join at a
+ * chosen oversubscription ratio under all three UVM systems and
+ * explains where the discard directive's savings come from.
+ *
+ * Usage:  ./examples/db_hashjoin [ovsp_ratio]   (default 2.0)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workloads/hash_join.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace uvmd;
+    using namespace uvmd::workloads;
+
+    double ratio = argc > 1 ? std::atof(argv[1]) : 2.0;
+
+    HashJoinParams params;
+    params.ovsp_ratio = ratio;
+    std::printf("GPU hash-join, footprint %.2f GB, oversubscription "
+                "%s\n",
+                params.footprint() / 1e9,
+                ratio <= 1.0
+                    ? "<100%"
+                    : (std::to_string(static_cast<int>(ratio * 100)) +
+                       "%").c_str());
+    std::printf("%-16s %10s %12s %12s %12s\n", "system", "time (ms)",
+                "traffic GB", "skipped GB", "GPU faults");
+
+    sim::SimDuration baseline = 0;
+    for (System sys : {System::kUvmOpt, System::kUvmDiscard,
+                       System::kUvmDiscardLazy}) {
+        RunResult r = runHashJoin(sys, params,
+                                  interconnect::LinkSpec::pcie4());
+        if (sys == System::kUvmOpt)
+            baseline = r.elapsed;
+        std::printf("%-16s %10.1f %12.2f %12.2f %12llu   (%.2fx)\n",
+                    toString(sys), sim::toMilliseconds(r.elapsed),
+                    r.trafficGb(), r.skipped_by_discard / 1e9,
+                    static_cast<unsigned long long>(
+                        r.gpu_fault_batches),
+                    static_cast<double>(baseline) / r.elapsed);
+    }
+
+    std::printf(
+        "\nThe join's intermediates (partitions, histogram workspace,\n"
+        "materialized results) are dead the moment the next stage has\n"
+        "consumed them.  Without discard the eviction process swaps\n"
+        "that dead data to the host and back; with it, the pages are\n"
+        "reclaimed in place and rewrites get zero-filled memory.\n");
+    return 0;
+}

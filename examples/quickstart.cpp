@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Quickstart: the paper's VectorAdd example (Listings 2/3) on uvmd.
+ *
+ * Demonstrates the managed-memory programming model end-to-end with
+ * real data: allocate unified buffers, initialize them from the host,
+ * prefetch, launch a GPU kernel that actually computes C = A + B
+ * against the backed store, discard the dead inputs, and read the
+ * result back — while the driver model accounts every byte that would
+ * have crossed PCIe.
+ *
+ * Build & run:  ./examples/quickstart
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "cuda/runtime.hpp"
+
+int
+main()
+{
+    using namespace uvmd;
+
+    // A small fully-backed GPU so the example really moves data.
+    uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+    cfg.gpu_memory = 64 * mem::kBigPageSize;  // 128 MiB
+    cfg.backed = true;
+    cuda::Runtime rt(cfg, interconnect::LinkSpec::pcie4());
+
+    constexpr std::size_t kElems = 1 << 20;  // 1M floats per vector
+    constexpr sim::Bytes kBytes = kElems * sizeof(float);
+
+    // cudaMallocManaged: one pointer valid on host and device.
+    mem::VirtAddr a = rt.mallocManaged(kBytes, "A");
+    mem::VirtAddr b = rt.mallocManaged(kBytes, "B");
+    mem::VirtAddr c = rt.mallocManaged(kBytes, "C");
+
+    // Generate input data on the host (first touch populates
+    // zero-filled CPU pages, then we write real values).
+    std::vector<float> init(kElems);
+    for (std::size_t i = 0; i < kElems; ++i)
+        init[i] = static_cast<float>(i) * 0.5f;
+    rt.hostWrite(a, init.data(), kBytes);
+    for (std::size_t i = 0; i < kElems; ++i)
+        init[i] = static_cast<float>(i) * 1.5f;
+    rt.hostWrite(b, init.data(), kBytes);
+
+    // Optional prefetches overlap the upload with host work and spare
+    // the kernel its page faults (paper Section 2.1).
+    rt.prefetchAsync(a, kBytes, uvm::ProcessorId::gpu(0));
+    rt.prefetchAsync(b, kBytes, uvm::ProcessorId::gpu(0));
+    rt.prefetchAsync(c, kBytes, uvm::ProcessorId::gpu(0));
+
+    // vectorAdd kernel: declares its memory behaviour and computes
+    // the real sums against the backing store.
+    cuda::KernelDesc kernel;
+    kernel.name = "vectorAdd";
+    kernel.accesses = {{a, kBytes, uvm::AccessKind::kRead},
+                       {b, kBytes, uvm::AccessKind::kRead},
+                       {c, kBytes, uvm::AccessKind::kWrite}};
+    kernel.compute = sim::microseconds(120);
+    kernel.body = [=](uvm::UvmDriver &drv) {
+        for (std::size_t i = 0; i < kElems; ++i) {
+            mem::VirtAddr off = i * sizeof(float);
+            float va = drv.peekValue<float>(a + off);
+            float vb = drv.peekValue<float>(b + off);
+            drv.pokeValue<float>(c + off, va + vb);
+        }
+    };
+    rt.launch(kernel);
+
+    // The inputs are dead once the kernel ran: a discard tells the
+    // driver their contents never need to migrate again.
+    rt.discardAsync(a, kBytes, uvm::DiscardMode::kEager);
+    rt.discardAsync(b, kBytes, uvm::DiscardMode::kEager);
+
+    rt.synchronize();
+
+    // Read the result on the host: the driver migrates C back.
+    rt.hostTouch(c, kBytes, uvm::AccessKind::kRead);
+    bool ok = true;
+    for (std::size_t i = 0; i < kElems; i += kElems / 8) {
+        float v = rt.driver().peekValue<float>(c + i * sizeof(float));
+        float expect = static_cast<float>(i) * 2.0f;
+        if (v != expect) {
+            std::printf("MISMATCH at %zu: %f != %f\n", i, v, expect);
+            ok = false;
+        }
+    }
+
+    std::printf("vectorAdd over %zu elements: %s\n", kElems,
+                ok ? "OK" : "FAILED");
+    std::printf("simulated time: %s\n",
+                sim::formatDuration(rt.now()).c_str());
+    std::printf("PCIe traffic:   %s up, %s down\n",
+                sim::formatBytes(rt.driver().trafficH2d()).c_str(),
+                sim::formatBytes(rt.driver().trafficD2h()).c_str());
+    std::printf("the discarded inputs A and B stayed on the GPU and "
+                "will be reclaimed without any transfer.\n");
+    return ok ? 0 : 1;
+}

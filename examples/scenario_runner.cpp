@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Run a scenario script (see workloads/scenario.hpp for the language)
+ * and print the resulting driver statistics and discard advice.
+ *
+ * Usage: ./examples/scenario_runner <script.uvm> [more scripts...]
+ *        ./examples/scenario_runner            (runs the built-in demo)
+ */
+
+#include <cstdio>
+
+#include "workloads/scenario.hpp"
+
+namespace {
+
+const char *kDemo = R"(
+# Built-in demo: the Figure-2 redundant-transfer pattern.
+gpu_memory 16MiB
+alloc temp 8MiB
+alloc other 16MiB
+kernel writer write temp compute 100us
+kernel reader read temp compute 100us
+prefetch other gpu
+kernel phase rw other compute 200us
+kernel overwriter write temp compute 100us
+sync
+)";
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace uvmd;
+    try {
+        if (argc < 2) {
+            std::printf("== built-in demo scenario ==\n%s\n",
+                        workloads::runScenario(kDemo).summary().c_str());
+            return 0;
+        }
+        for (int i = 1; i < argc; ++i) {
+            std::printf("== %s ==\n%s\n", argv[i],
+                        workloads::runScenarioFile(argv[i])
+                            .summary()
+                            .c_str());
+        }
+    } catch (const sim::FatalError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 1;
+    }
+    return 0;
+}

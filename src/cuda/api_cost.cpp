@@ -1,0 +1,74 @@
+#include "cuda/api_cost.hpp"
+
+#include <array>
+
+namespace uvmd::cuda {
+
+namespace {
+
+/** One anchor of a piecewise-linear size->cost curve. */
+struct Anchor {
+    double size_mib;
+    double cost_us;
+};
+
+/** Table 2 anchors (buffer size -> microseconds). */
+constexpr std::array<Anchor, 4> kMallocAnchors{
+    {{2, 48}, {8, 184}, {32, 726}, {128, 939}}};
+constexpr std::array<Anchor, 4> kFreeAnchors{
+    {{2, 32}, {8, 38}, {32, 63}, {128, 1184}}};
+
+double
+interpolate(const std::array<Anchor, 4> &anchors, double size_mib)
+{
+    if (size_mib <= anchors.front().size_mib) {
+        // Scale down proportionally below the smallest anchor, with a
+        // floor: even tiny calls enter the CUDA runtime.
+        double scaled = anchors.front().cost_us * size_mib /
+                        anchors.front().size_mib;
+        return scaled > 5.0 ? scaled : 5.0;
+    }
+    for (std::size_t i = 1; i < anchors.size(); ++i) {
+        if (size_mib <= anchors[i].size_mib) {
+            const Anchor &lo = anchors[i - 1];
+            const Anchor &hi = anchors[i];
+            double f = (size_mib - lo.size_mib) /
+                       (hi.size_mib - lo.size_mib);
+            return lo.cost_us + f * (hi.cost_us - lo.cost_us);
+        }
+    }
+    // Extrapolate linearly beyond the last anchor.
+    const Anchor &lo = anchors[anchors.size() - 2];
+    const Anchor &hi = anchors.back();
+    double slope = (hi.cost_us - lo.cost_us) /
+                   (hi.size_mib - lo.size_mib);
+    return hi.cost_us + slope * (size_mib - hi.size_mib);
+}
+
+}  // namespace
+
+sim::SimDuration
+apiCost(ApiOp op, sim::Bytes size)
+{
+    double size_mib = static_cast<double>(size) / sim::kMiB;
+    switch (op) {
+      case ApiOp::kCudaMalloc:
+        return sim::microseconds(interpolate(kMallocAnchors, size_mib));
+      case ApiOp::kCudaFree:
+        return sim::microseconds(interpolate(kFreeAnchors, size_mib));
+      case ApiOp::kCudaMallocManaged:
+        // VA reservation only: no physical memory is touched.
+        return sim::microseconds(30);
+      case ApiOp::kCudaFreeManaged:
+        return sim::microseconds(40);
+      case ApiOp::kLaunch:
+        return sim::microseconds(5);
+      case ApiOp::kApiIssue:
+        return sim::microseconds(2);
+      case ApiOp::kDiscardEntry:
+        return sim::microseconds(2);
+    }
+    return 0;
+}
+
+}  // namespace uvmd::cuda

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Kernel descriptions.
+ *
+ * A simulated kernel is its memory behaviour plus a compute duration:
+ * an ordered list of accessed spans (each read, written, or both) that
+ * the driver walks block-by-block at launch, faulting and migrating
+ * exactly as the real driver would, and a pure-compute time that
+ * occupies the GPU compute engine.  An optional body functor performs
+ * real reads/writes against the backing store so examples and tests
+ * can check end-to-end data correctness through migrations, evictions
+ * and discards.
+ */
+
+#ifndef UVMD_CUDA_KERNEL_HPP
+#define UVMD_CUDA_KERNEL_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "uvm/driver.hpp"
+
+namespace uvmd::cuda {
+
+struct KernelDesc {
+    std::string name;
+
+    /** Touched spans, in touch order (ordering matters under memory
+     *  pressure: later spans can evict earlier ones). */
+    std::vector<uvm::Access> accesses;
+
+    /** Pure computation time on the GPU compute engine. */
+    sim::SimDuration compute = 0;
+
+    /** Optional real computation over backed memory.  Runs after the
+     *  access walk has made all touched pages device-resident. */
+    std::function<void(uvm::UvmDriver &)> body;
+};
+
+}  // namespace uvmd::cuda
+
+#endif  // UVMD_CUDA_KERNEL_HPP

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Runtime — the CUDA-like programming interface of the simulation.
+ *
+ * Applications use this class the way a CUDA UVM program uses the
+ * CUDA runtime (paper Listings 2/3/6): allocate managed memory,
+ * enqueue prefetches / discards / kernels on streams, synchronize,
+ * and touch memory from the host.  The legacy explicit path
+ * (cudaMalloc / cudaMemcpyAsync, Listing 1/4/5) is provided for the
+ * No-UVM and manual-swap baselines.
+ *
+ * Time model: the host thread has its own timeline (API calls cost
+ * host time per the Table-2 model); each stream executes its ops in
+ * order on the discrete-event queue, and each op reserves spans on
+ * the relevant engine timelines (GPU compute, per-direction DMA).
+ * Ops on different streams therefore overlap exactly where the
+ * hardware would allow it.
+ */
+
+#ifndef UVMD_CUDA_RUNTIME_HPP
+#define UVMD_CUDA_RUNTIME_HPP
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cuda/api_cost.hpp"
+#include "cuda/stream.hpp"
+#include "interconnect/link.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "uvm/driver.hpp"
+
+namespace uvmd::cuda {
+
+class Runtime
+{
+  public:
+    Runtime(const uvm::UvmConfig &cfg, interconnect::LinkSpec link);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    // ------------------------------------------------------------
+    // Memory management
+    // ------------------------------------------------------------
+
+    /** cudaMallocManaged. */
+    mem::VirtAddr mallocManaged(sim::Bytes size, std::string name);
+
+    /** cudaFree of a managed pointer. */
+    void freeManaged(mem::VirtAddr addr);
+
+    /** cudaMalloc: an explicit device buffer (No-UVM path).  Fails
+     *  fatally when the device is out of memory — the Listing-4
+     *  failure mode. */
+    mem::VirtAddr mallocDevice(sim::Bytes size, std::string name,
+                               uvm::GpuId gpu = 0);
+
+    /** cudaFree of a device pointer. */
+    void freeDevice(mem::VirtAddr addr);
+
+    // ------------------------------------------------------------
+    // Asynchronous stream operations
+    // ------------------------------------------------------------
+
+    /** Create an additional stream (stream 0 always exists). */
+    StreamId createStream();
+
+    /** cudaMemPrefetchAsync. */
+    void prefetchAsync(mem::VirtAddr addr, sim::Bytes size,
+                       uvm::ProcessorId dst, StreamId stream = 0);
+
+    /** cudaMemAdvise (synchronous hint; see uvm::MemAdvise). */
+    void memAdvise(mem::VirtAddr addr, sim::Bytes size,
+                   uvm::MemAdvise advice, uvm::GpuId gpu = 0);
+
+    /** UvmDiscardAsync / UvmDiscardLazyAsync (paper Section 4). */
+    void discardAsync(mem::VirtAddr addr, sim::Bytes size,
+                      uvm::DiscardMode mode, StreamId stream = 0);
+
+    /** Kernel launch. */
+    void launch(KernelDesc kernel, StreamId stream = 0,
+                uvm::GpuId gpu = 0);
+
+    /** cudaMemcpyAsync between a host span and an explicit device
+     *  buffer (No-UVM path); @p to_device picks the direction. */
+    void memcpyAsync(mem::VirtAddr device_addr, sim::Bytes size,
+                     bool to_device, StreamId stream = 0,
+                     uvm::GpuId gpu = 0);
+
+    /** cudaEventRecord. @return a handle for streamWaitEvent. */
+    EventHandle recordEvent(StreamId stream);
+
+    /** cudaStreamWaitEvent. */
+    void streamWaitEvent(StreamId stream, EventHandle event);
+
+    // ------------------------------------------------------------
+    // Synchronization
+    // ------------------------------------------------------------
+
+    /** cudaDeviceSynchronize: drain all streams. */
+    void synchronize();
+
+    /** cudaStreamSynchronize. */
+    void streamSynchronize(StreamId stream);
+
+    // ------------------------------------------------------------
+    // Host-side execution
+    // ------------------------------------------------------------
+
+    /** Synchronous host touch of managed memory (faults + migrates
+     *  as needed) — a host loop reading/writing the buffer. */
+    void hostTouch(mem::VirtAddr addr, sim::Bytes size,
+                   uvm::AccessKind kind);
+
+    /** Pure host computation time (e.g. batch generation). */
+    void hostCompute(sim::SimDuration d) { host_time_ += d; }
+
+    /** hostTouch(write) + real data write (backed mode). */
+    void hostWrite(mem::VirtAddr addr, const void *data,
+                   std::size_t len);
+
+    /** hostTouch(read) + real data read. */
+    void hostRead(mem::VirtAddr addr, void *out, std::size_t len);
+
+    template <typename T>
+    void
+    hostWriteValue(mem::VirtAddr addr, const T &v)
+    {
+        hostWrite(addr, &v, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    hostReadValue(mem::VirtAddr addr)
+    {
+        T v{};
+        hostRead(addr, &v, sizeof(T));
+        return v;
+    }
+
+    // ------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------
+
+    uvm::UvmDriver &driver() { return driver_; }
+
+    /** Host-thread wall clock (== total elapsed after synchronize). */
+    sim::SimTime now() const { return host_time_; }
+
+    sim::Resource &computeEngine(uvm::GpuId gpu = 0)
+    {
+        return *compute_engines_[gpu];
+    }
+
+  private:
+    void enqueue(StreamId stream, StreamOp op);
+
+    /** Schedule a dispatch for @p stream if it has runnable work. */
+    void pump(StreamId stream);
+
+    /** Execute the head op of @p stream at the current queue time. */
+    void executeHead(StreamId stream);
+
+    sim::SimTime executeOp(StreamOp &op, sim::SimTime t0);
+
+    uvm::UvmDriver driver_;
+    sim::EventQueue queue_;
+    std::vector<std::unique_ptr<sim::Resource>> compute_engines_;
+
+    sim::SimTime host_time_ = 0;
+    std::vector<StreamState> streams_;
+    std::vector<EventState> events_;
+
+    struct DeviceBuffer {
+        sim::Bytes size;
+        uvm::GpuId gpu;
+        std::string name;
+    };
+    std::unordered_map<mem::VirtAddr, DeviceBuffer> device_buffers_;
+    mem::VirtAddr next_device_addr_ = mem::VirtAddr{1} << 50;
+};
+
+}  // namespace uvmd::cuda
+
+#endif  // UVMD_CUDA_RUNTIME_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * CUDA stream and event state.
+ *
+ * Streams are in-order queues of asynchronous operations; events are
+ * the cross-stream synchronization primitive (cudaEventRecord /
+ * cudaStreamWaitEvent).  The Runtime owns both and dispatches stream
+ * ops on the discrete-event queue; this header only holds the data
+ * types.
+ */
+
+#ifndef UVMD_CUDA_STREAM_HPP
+#define UVMD_CUDA_STREAM_HPP
+
+#include <deque>
+#include <vector>
+
+#include "cuda/kernel.hpp"
+#include "uvm/config.hpp"
+#include "uvm/driver.hpp"
+
+namespace uvmd::cuda {
+
+using StreamId = int;
+using EventHandle = int;
+
+/** One queued asynchronous operation. */
+struct StreamOp {
+    enum class Type {
+        kKernel,
+        kPrefetch,
+        kDiscard,
+        kMemcpyH2D,
+        kMemcpyD2H,
+        kEventRecord,
+        kEventWait,
+    };
+
+    Type type;
+
+    /** Host time at which the op was enqueued; it cannot start
+     *  earlier even if the stream is idle. */
+    sim::SimTime issue_time = 0;
+
+    // kKernel
+    KernelDesc kernel;
+    uvm::GpuId gpu = 0;
+
+    // kPrefetch / kDiscard / kMemcpy*
+    mem::VirtAddr addr = 0;
+    sim::Bytes size = 0;
+    uvm::ProcessorId dst;
+    uvm::DiscardMode mode = uvm::DiscardMode::kEager;
+
+    // kEventRecord / kEventWait
+    EventHandle event = -1;
+};
+
+struct StreamState {
+    std::deque<StreamOp> ops;
+
+    /** Completion time of the last executed op. */
+    sim::SimTime ready = 0;
+
+    /** A dispatch event for this stream is pending on the queue. */
+    bool dispatch_scheduled = false;
+
+    /** The head op is an event-wait on an un-recorded event. */
+    bool blocked = false;
+};
+
+struct EventState {
+    bool recorded = false;
+    sim::SimTime time = 0;
+    std::vector<StreamId> waiters;
+};
+
+}  // namespace uvmd::cuda
+
+#endif  // UVMD_CUDA_STREAM_HPP

@@ -1,0 +1,29 @@
+#include "interconnect/link.hpp"
+
+namespace uvmd::interconnect {
+
+const char *
+toString(Direction dir)
+{
+    return dir == Direction::kHostToDevice ? "h2d" : "d2h";
+}
+
+LinkSpec
+LinkSpec::pcie3()
+{
+    return {"pcie3", 12.2, sim::microseconds(8)};
+}
+
+LinkSpec
+LinkSpec::pcie4()
+{
+    return {"pcie4", 25.0, sim::microseconds(8)};
+}
+
+LinkSpec
+LinkSpec::nvlink()
+{
+    return {"nvlink", 50.0, sim::microseconds(2)};
+}
+
+}  // namespace uvmd::interconnect

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Host-device interconnect model.
+ *
+ * A Link turns (bytes, direction) into a transfer duration using a
+ * fixed per-transfer setup latency plus a peak-bandwidth term:
+ *
+ *     t(bytes) = setup + bytes / peak_bw
+ *
+ * so effective throughput bytes/t(bytes) rises with transfer size and
+ * saturates at the peak — the shape of the paper's Figure 4
+ * (cudaMemPrefetchAsync throughput on PCIe-3/4), and the reason the
+ * discard implementation prefers whole 2 MB regions (Section 5.4).
+ *
+ * Each direction has its own DMA engine timeline, so host-to-device
+ * and device-to-host traffic overlap with each other and with GPU
+ * computation; traffic totals per direction feed every "PCIe traffic"
+ * table in the evaluation.
+ */
+
+#ifndef UVMD_INTERCONNECT_LINK_HPP
+#define UVMD_INTERCONNECT_LINK_HPP
+
+#include <string>
+
+#include "sim/resource.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace uvmd::interconnect {
+
+enum class Direction : std::uint8_t { kHostToDevice, kDeviceToHost };
+
+const char *toString(Direction dir);
+
+/** Static description of a link technology. */
+struct LinkSpec {
+    std::string name;
+    double peak_gbps;        ///< peak one-direction bandwidth, GB/s
+    sim::SimDuration setup;  ///< fixed per-transfer latency
+
+    /** PCIe gen3 x16 (paper: ~12 GB/s effective). */
+    static LinkSpec pcie3();
+    /** PCIe gen4 x16, DDR4-3200 bound (paper Section 7.1: 25 GB/s). */
+    static LinkSpec pcie4();
+    /** NVLink-class coherent link (Section 2.3 discussion; ablation). */
+    static LinkSpec nvlink();
+};
+
+class Link
+{
+  public:
+    explicit Link(LinkSpec spec)
+        : spec_(std::move(spec)),
+          h2d_engine_("dma_h2d"),
+          d2h_engine_("dma_d2h")
+    {}
+
+    const LinkSpec &spec() const { return spec_; }
+
+    /** Pure cost of one transfer, without engine queueing. */
+    sim::SimDuration
+    transferCost(sim::Bytes bytes) const
+    {
+        return spec_.setup + sim::transferTime(bytes, spec_.peak_gbps);
+    }
+
+    /**
+     * Effective throughput (GB/s) of one isolated transfer of
+     * @p bytes — the quantity Figure 4 plots.
+     */
+    double
+    effectiveGbps(sim::Bytes bytes) const
+    {
+        sim::SimDuration t = transferCost(bytes);
+        return static_cast<double>(bytes) / static_cast<double>(t);
+    }
+
+    /**
+     * Reserve DMA engine time for a transfer starting no earlier than
+     * @p earliest and account the traffic.
+     * @return completion time.
+     */
+    sim::SimTime
+    transfer(sim::SimTime earliest, sim::Bytes bytes, Direction dir)
+    {
+        sim::Resource &eng = engine(dir);
+        accountTraffic(bytes, dir);
+        return eng.reserve(earliest, transferCost(bytes));
+    }
+
+    /** Account traffic without reserving time (synchronous paths). */
+    void
+    accountTraffic(sim::Bytes bytes, Direction dir)
+    {
+        if (dir == Direction::kHostToDevice) {
+            stats_.counter("bytes_h2d").inc(bytes);
+            stats_.counter("transfers_h2d").inc();
+        } else {
+            stats_.counter("bytes_d2h").inc(bytes);
+            stats_.counter("transfers_d2h").inc();
+        }
+    }
+
+    sim::Resource &
+    engine(Direction dir)
+    {
+        return dir == Direction::kHostToDevice ? h2d_engine_
+                                               : d2h_engine_;
+    }
+
+    sim::Bytes totalBytes() const
+    {
+        return stats_.get("bytes_h2d") + stats_.get("bytes_d2h");
+    }
+    sim::Bytes bytesH2d() const { return stats_.get("bytes_h2d"); }
+    sim::Bytes bytesD2h() const { return stats_.get("bytes_d2h"); }
+
+    const sim::StatGroup &stats() const { return stats_; }
+
+    void
+    reset()
+    {
+        h2d_engine_.reset();
+        d2h_engine_.reset();
+        stats_.reset();
+    }
+
+  private:
+    LinkSpec spec_;
+    sim::Resource h2d_engine_;
+    sim::Resource d2h_engine_;
+    sim::StatGroup stats_;
+};
+
+}  // namespace uvmd::interconnect
+
+#endif  // UVMD_INTERCONNECT_LINK_HPP

@@ -1,0 +1,129 @@
+#include "mem/backing_store.hpp"
+
+#include "sim/logging.hpp"
+
+namespace uvmd::mem {
+
+BackingStore::Payload *
+BackingStore::slotOf(PageCopies &pc, CopySlot slot) const
+{
+    return slot == CopySlot::kHost ? pc.host.get() : pc.device.get();
+}
+
+BackingStore::Payload &
+BackingStore::ensure(std::uint64_t page_no, CopySlot slot)
+{
+    PageCopies &pc = pages_[page_no];
+    auto &ptr = slot == CopySlot::kHost ? pc.host : pc.device;
+    if (!ptr) {
+        ptr = std::make_unique<Payload>();
+        ptr->fill(0);
+    }
+    return *ptr;
+}
+
+void
+BackingStore::write(VirtAddr va, const void *data, std::size_t len,
+                    CopySlot slot)
+{
+    if (!enabled_)
+        return;
+    if (pageIndexInBlock(va) !=
+            pageIndexInBlock(va + len - 1) &&
+        smallPageNumber(va) != smallPageNumber(va + len - 1)) {
+        sim::panic("BackingStore::write crosses a 4KB page boundary");
+    }
+    Payload &p = ensure(smallPageNumber(va), slot);
+    std::memcpy(p.data() + va % kSmallPageSize, data, len);
+}
+
+void
+BackingStore::read(VirtAddr va, void *out, std::size_t len,
+                   CopySlot slot) const
+{
+    if (!enabled_) {
+        std::memset(out, 0, len);
+        return;
+    }
+    if (smallPageNumber(va) != smallPageNumber(va + len - 1))
+        sim::panic("BackingStore::read crosses a 4KB page boundary");
+    auto it = pages_.find(smallPageNumber(va));
+    if (it == pages_.end()) {
+        std::memset(out, 0, len);
+        return;
+    }
+    const Payload *p = slot == CopySlot::kHost ? it->second.host.get()
+                                               : it->second.device.get();
+    if (!p) {
+        std::memset(out, 0, len);
+        return;
+    }
+    std::memcpy(out, p->data() + va % kSmallPageSize, len);
+}
+
+void
+BackingStore::zeroPage(VirtAddr va, CopySlot slot)
+{
+    if (!enabled_)
+        return;
+    ensure(smallPageNumber(va), slot).fill(0);
+}
+
+void
+BackingStore::copyPage(VirtAddr va, CopySlot from, CopySlot to)
+{
+    if (!enabled_)
+        return;
+    std::uint64_t page_no = smallPageNumber(va);
+    auto it = pages_.find(page_no);
+    if (it == pages_.end() || !slotOf(it->second, from)) {
+        // Source never materialized: reads as zeros, so the copy does.
+        ensure(page_no, to).fill(0);
+        return;
+    }
+    // ensure() can rehash the map; re-find the source afterwards.
+    Payload &dst = ensure(page_no, to);
+    Payload *src = slotOf(pages_[page_no], from);
+    dst = *src;
+}
+
+void
+BackingStore::dropPage(VirtAddr va, CopySlot slot)
+{
+    if (!enabled_)
+        return;
+    auto it = pages_.find(smallPageNumber(va));
+    if (it == pages_.end())
+        return;
+    if (slot == CopySlot::kHost)
+        it->second.host.reset();
+    else
+        it->second.device.reset();
+    if (!it->second.host && !it->second.device)
+        pages_.erase(it);
+}
+
+bool
+BackingStore::hasPage(VirtAddr va, CopySlot slot) const
+{
+    auto it = pages_.find(smallPageNumber(va));
+    if (it == pages_.end())
+        return false;
+    return slot == CopySlot::kHost ? it->second.host != nullptr
+                                   : it->second.device != nullptr;
+}
+
+std::size_t
+BackingStore::materializedPages() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : pages_) {
+        if (kv.second.host)
+            ++n;
+        if (kv.second.device)
+            ++n;
+    }
+    return n;
+}
+
+}  // namespace uvmd::mem

@@ -1,0 +1,52 @@
+#include "mem/chunk_allocator.hpp"
+
+#include "sim/logging.hpp"
+
+namespace uvmd::mem {
+
+ChunkAllocator::ChunkAllocator(sim::Bytes capacity)
+    : total_chunks_(capacity / kBigPageSize)
+{
+    if (total_chunks_ == 0)
+        sim::fatal("ChunkAllocator: capacity smaller than one 2MB chunk");
+}
+
+void
+ChunkAllocator::reserve(sim::Bytes bytes)
+{
+    std::uint64_t chunks = alignUp(bytes, kBigPageSize) / kBigPageSize;
+    if (chunks > freeChunks())
+        sim::fatal("ChunkAllocator: occupier reservation exceeds free "
+                   "GPU memory");
+    reserved_chunks_ += chunks;
+}
+
+void
+ChunkAllocator::unreserve(sim::Bytes bytes)
+{
+    std::uint64_t chunks = alignUp(bytes, kBigPageSize) / kBigPageSize;
+    if (chunks > reserved_chunks_)
+        sim::panic("ChunkAllocator: unreserve more than reserved");
+    reserved_chunks_ -= chunks;
+}
+
+bool
+ChunkAllocator::tryAllocChunk()
+{
+    if (freeChunks() == 0)
+        return false;
+    ++allocated_chunks_;
+    stats_.counter("chunk_allocs").inc();
+    return true;
+}
+
+void
+ChunkAllocator::freeChunk()
+{
+    if (allocated_chunks_ == 0)
+        sim::panic("ChunkAllocator: free with no allocated chunks");
+    --allocated_chunks_;
+    stats_.counter("chunk_frees").inc();
+}
+
+}  // namespace uvmd::mem

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-GPU framebuffer capacity accounting at 2 MB chunk granularity.
+ *
+ * The UVM driver allocates GPU physical memory for managed ranges in
+ * 2 MB chunks (paper Section 5.4).  This allocator models capacity
+ * only: a chunk has no physical address in this simulation, just
+ * existence.  A portion of the framebuffer can be *reserved* to model
+ * the paper's oversubscription methodology (Section 7.1: an idle GPU
+ * program occupies a fixed amount of GPU memory).
+ */
+
+#ifndef UVMD_MEM_CHUNK_ALLOCATOR_HPP
+#define UVMD_MEM_CHUNK_ALLOCATOR_HPP
+
+#include <cstdint>
+
+#include "mem/page.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace uvmd::mem {
+
+class ChunkAllocator
+{
+  public:
+    /**
+     * @param capacity usable framebuffer size; rounded down to a whole
+     *                 number of 2 MB chunks.
+     */
+    explicit ChunkAllocator(sim::Bytes capacity);
+
+    /** Total chunk capacity (after rounding, before reservations). */
+    std::uint64_t totalChunks() const { return total_chunks_; }
+
+    /** Chunks currently allocated to va_blocks. */
+    std::uint64_t allocatedChunks() const { return allocated_chunks_; }
+
+    /** Chunks pinned by reserve() (the oversubscription occupier). */
+    std::uint64_t reservedChunks() const { return reserved_chunks_; }
+
+    /** Chunks on the free queue. */
+    std::uint64_t
+    freeChunks() const
+    {
+        return total_chunks_ - allocated_chunks_ - reserved_chunks_;
+    }
+
+    sim::Bytes
+    freeBytes() const
+    {
+        return freeChunks() * kBigPageSize;
+    }
+
+    sim::Bytes
+    usableBytes() const
+    {
+        return (total_chunks_ - reserved_chunks_) * kBigPageSize;
+    }
+
+    /**
+     * Permanently pin @p bytes of framebuffer (rounded up to chunks).
+     * Used by workloads::Occupier.  Fails fatally if the reservation
+     * does not fit in currently-free memory.
+     */
+    void reserve(sim::Bytes bytes);
+
+    /** Release a previous reservation of @p bytes. */
+    void unreserve(sim::Bytes bytes);
+
+    /**
+     * Allocate one 2 MB chunk from the free queue.
+     * @return true on success; false means the caller must evict.
+     */
+    bool tryAllocChunk();
+
+    /** Return one chunk to the free queue. */
+    void freeChunk();
+
+    /** Allocation statistics (chunk_allocs, chunk_frees). */
+    const sim::StatGroup &stats() const { return stats_; }
+
+  private:
+    std::uint64_t total_chunks_;
+    std::uint64_t allocated_chunks_ = 0;
+    std::uint64_t reserved_chunks_ = 0;
+    sim::StatGroup stats_;
+};
+
+}  // namespace uvmd::mem
+
+#endif  // UVMD_MEM_CHUNK_ALLOCATOR_HPP

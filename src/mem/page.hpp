@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Page-size constants and alignment helpers.
+ *
+ * NVIDIA's UVM driver manages virtual memory in 2 MB "va_blocks" that
+ * internally track 4 KB pages; GPUs map either one 2 MB PTE or 512
+ * 4 KB PTEs per block (paper Section 5.4).  These constants are used
+ * pervasively, so they live in their own tiny header.
+ */
+
+#ifndef UVMD_MEM_PAGE_HPP
+#define UVMD_MEM_PAGE_HPP
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace uvmd::mem {
+
+/** Small (4 KB) page size. */
+inline constexpr sim::Bytes kSmallPageSize = 4 * sim::kKiB;
+
+/** Big (2 MB) page / va_block / GPU chunk size. */
+inline constexpr sim::Bytes kBigPageSize = 2 * sim::kMiB;
+
+/** Number of 4 KB pages per 2 MB block. */
+inline constexpr std::uint32_t kPagesPerBlock =
+    static_cast<std::uint32_t>(kBigPageSize / kSmallPageSize);  // 512
+
+/** A unified virtual address (byte granularity). */
+using VirtAddr = std::uint64_t;
+
+constexpr VirtAddr
+alignDown(VirtAddr addr, sim::Bytes alignment)
+{
+    return addr & ~(alignment - 1);
+}
+
+constexpr VirtAddr
+alignUp(VirtAddr addr, sim::Bytes alignment)
+{
+    return (addr + alignment - 1) & ~(alignment - 1);
+}
+
+constexpr bool
+isAligned(VirtAddr addr, sim::Bytes alignment)
+{
+    return (addr & (alignment - 1)) == 0;
+}
+
+/** Index of the 4 KB page containing @p addr within its 2 MB block. */
+constexpr std::uint32_t
+pageIndexInBlock(VirtAddr addr)
+{
+    return static_cast<std::uint32_t>((addr % kBigPageSize) /
+                                      kSmallPageSize);
+}
+
+/** Global 4 KB page number of @p addr. */
+constexpr std::uint64_t
+smallPageNumber(VirtAddr addr)
+{
+    return addr / kSmallPageSize;
+}
+
+}  // namespace uvmd::mem
+
+#endif  // UVMD_MEM_PAGE_HPP

@@ -1,0 +1,21 @@
+#include "mem/page_queues.hpp"
+
+namespace uvmd::mem {
+
+const char *
+toString(QueueKind kind)
+{
+    switch (kind) {
+      case QueueKind::kNone:
+        return "none";
+      case QueueKind::kUnused:
+        return "unused";
+      case QueueKind::kUsed:
+        return "used";
+      case QueueKind::kDiscarded:
+        return "discarded";
+    }
+    return "?";
+}
+
+}  // namespace uvmd::mem

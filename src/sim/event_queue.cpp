@@ -1,0 +1,86 @@
+#include "sim/event_queue.hpp"
+
+#include <unordered_map>
+
+#include "sim/logging.hpp"
+
+namespace uvmd::sim {
+
+EventId
+EventQueue::scheduleAt(SimTime when, Callback cb)
+{
+    if (when < now_)
+        panic("EventQueue::scheduleAt: scheduling in the past");
+    EventId id = next_id_++;
+    heap_.push(Entry{when, next_seq_++, id});
+    live_.emplace(id, std::move(cb));
+    ++pending_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(SimDuration delay, Callback cb)
+{
+    if (delay < 0)
+        panic("EventQueue::scheduleAfter: negative delay");
+    return scheduleAt(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        return false;
+    live_.erase(it);
+    --pending_;
+    return true;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        auto it = live_.find(e.id);
+        if (it == live_.end())
+            continue;  // cancelled; skip lazily
+        Callback cb = std::move(it->second);
+        live_.erase(it);
+        --pending_;
+        now_ = e.when;
+        cb();
+        return true;
+    }
+    return false;
+}
+
+SimTime
+EventQueue::runAll()
+{
+    while (step()) {
+    }
+    return now_;
+}
+
+SimTime
+EventQueue::runUntil(SimTime deadline)
+{
+    while (!heap_.empty()) {
+        // Peek past cancelled entries without executing.
+        Entry e = heap_.top();
+        if (!live_.count(e.id)) {
+            heap_.pop();
+            continue;
+        }
+        if (e.when > deadline)
+            break;
+        step();
+    }
+    if (now_ < deadline)
+        now_ = deadline;
+    return now_;
+}
+
+}  // namespace uvmd::sim

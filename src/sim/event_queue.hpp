@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A minimal discrete-event queue.
+ *
+ * Events are (time, sequence, callback) triples ordered by time and,
+ * for ties, by insertion order so simulation is deterministic.  The
+ * CUDA runtime schedules stream-operation completions here; driver
+ * helpers use it for deferred work such as delayed reclamation and
+ * periodic statistics sampling.
+ */
+
+#ifndef UVMD_SIM_EVENT_QUEUE_HPP
+#define UVMD_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace uvmd::sim {
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return pending_; }
+    bool empty() const { return pending_ == 0; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now(); scheduling in the past is a simulator bug.
+     */
+    EventId scheduleAt(SimTime when, Callback cb);
+
+    /** Schedule @p cb to run @p delay after the current time. */
+    EventId scheduleAfter(SimDuration delay, Callback cb);
+
+    /**
+     * Cancel a pending event.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /**
+     * Run events until the queue is empty.
+     * @return the time of the last executed event (now()).
+     */
+    SimTime runAll();
+
+    /**
+     * Run events with time <= @p deadline, then advance now() to
+     * @p deadline if it is later than the last event.
+     */
+    SimTime runUntil(SimTime deadline);
+
+    /** Execute the single next event, if any.  @return true if run. */
+    bool step();
+
+  private:
+    struct Entry {
+        SimTime when;
+        std::uint64_t seq;
+        EventId id;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    SimTime now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    std::size_t pending_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    // Callbacks (and liveness) are kept out of the heap so cancel() is
+    // O(1); dead heap entries are skipped lazily on pop.
+    std::unordered_map<EventId, Callback> live_;
+};
+
+}  // namespace uvmd::sim
+
+#endif  // UVMD_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,38 @@
+#include "sim/stats.hpp"
+
+namespace uvmd::sim {
+
+std::vector<std::string>
+StatGroup::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        names.push_back(kv.first);
+    return names;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : counters_)
+        kv.second.reset();
+    for (auto &kv : dists_)
+        kv.second.reset();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &kv : counters_)
+        os << prefix << kv.first << " " << kv.second.value() << "\n";
+    for (const auto &kv : dists_) {
+        const auto &d = kv.second;
+        os << prefix << kv.first << "::count " << d.count() << "\n";
+        os << prefix << kv.first << "::mean " << d.mean() << "\n";
+        os << prefix << kv.first << "::min " << d.min() << "\n";
+        os << prefix << kv.first << "::max " << d.max() << "\n";
+    }
+}
+
+}  // namespace uvmd::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * A small named-statistics framework.
+ *
+ * Subsystems register scalar counters and distributions in a StatGroup;
+ * groups nest by name ("uvm.gpu0.bytes_h2d").  Benches and tests read
+ * stats back by name, and a group can dump itself as text in the gem5
+ * stats-file style.
+ */
+
+#ifndef UVMD_SIM_STATS_HPP
+#define UVMD_SIM_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace uvmd::sim {
+
+/** A monotonically accumulating scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t by = 1) { value_ += by; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Simple min/max/mean/count distribution. */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        if (count_ == 0 || v < min_) min_ = v;
+        if (count_ == 0 || v > max_) max_ = v;
+        sum_ += v;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return sum_; }
+
+    void
+    reset()
+    {
+        min_ = max_ = sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A flat registry of named counters and distributions.
+ *
+ * Names are dotted paths chosen by the owning subsystem.  Lookup
+ * creates on first use, so readers and writers need no registration
+ * handshake.
+ */
+class StatGroup
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+    Distribution &dist(const std::string &name) { return dists_[name]; }
+
+    /** Read a counter without creating it (0 if absent). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second.value();
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    /** All counter names in sorted order (for dumps and tests). */
+    std::vector<std::string> counterNames() const;
+
+    /** Reset every statistic to zero. */
+    void reset();
+
+    /** Dump all statistics as "name value" lines. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> dists_;
+};
+
+}  // namespace uvmd::sim
+
+#endif  // UVMD_SIM_STATS_HPP

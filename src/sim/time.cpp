@@ -1,0 +1,41 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace uvmd::sim {
+
+std::string
+formatDuration(SimDuration d)
+{
+    char buf[64];
+    if (d < 10'000) {
+        std::snprintf(buf, sizeof(buf), "%ld ns", static_cast<long>(d));
+    } else if (d < 10'000'000) {
+        std::snprintf(buf, sizeof(buf), "%.2f us", toMicroseconds(d));
+    } else if (d < 10'000'000'000) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms", toMilliseconds(d));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3f s", toSeconds(d));
+    }
+    return buf;
+}
+
+std::string
+formatBytes(Bytes b)
+{
+    char buf[64];
+    if (b < 10 * kKiB) {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(b));
+    } else if (b < 10 * kMiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                      static_cast<double>(b) / kKiB);
+    } else if (b < 10 * kGiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f MiB", toMiB(b));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f GiB", toGiB(b));
+    }
+    return buf;
+}
+
+}  // namespace uvmd::sim

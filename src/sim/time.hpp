@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Simulated time and byte-size units.
+ *
+ * All simulated time in uvmd is kept as an integral number of
+ * nanoseconds (SimTime).  Using a single integral unit keeps event
+ * ordering exact and comparisons cheap; helpers below convert to and
+ * from human units.  Byte quantities follow the same pattern.
+ */
+
+#ifndef UVMD_SIM_TIME_HPP
+#define UVMD_SIM_TIME_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace uvmd::sim {
+
+/** Simulated time in nanoseconds since simulation start. */
+using SimTime = std::int64_t;
+
+/** A span of simulated time in nanoseconds. */
+using SimDuration = std::int64_t;
+
+/** The maximum representable simulation time ("never"). */
+inline constexpr SimTime kTimeNever = INT64_MAX;
+
+constexpr SimDuration nanoseconds(double n) {
+    return static_cast<SimDuration>(n);
+}
+constexpr SimDuration microseconds(double us) {
+    return static_cast<SimDuration>(us * 1e3);
+}
+constexpr SimDuration milliseconds(double ms) {
+    return static_cast<SimDuration>(ms * 1e6);
+}
+constexpr SimDuration seconds(double s) {
+    return static_cast<SimDuration>(s * 1e9);
+}
+
+constexpr double toMicroseconds(SimDuration d) { return d / 1e3; }
+constexpr double toMilliseconds(SimDuration d) { return d / 1e6; }
+constexpr double toSeconds(SimDuration d) { return d / 1e9; }
+
+/** Byte quantities are plain 64-bit counts. */
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr double toMiB(Bytes b) { return static_cast<double>(b) / kMiB; }
+constexpr double toGiB(Bytes b) { return static_cast<double>(b) / kGiB; }
+
+/**
+ * Convert a bandwidth given in GB/s (decimal gigabytes, as used in the
+ * paper's interconnect figures) into bytes per simulated nanosecond.
+ */
+constexpr double gbPerSecToBytesPerNs(double gb_per_s) {
+    return gb_per_s * 1e9 / 1e9;  // bytes/s over ns/s == bytes/ns
+}
+
+/**
+ * Time taken to move @p bytes at @p gb_per_s decimal-GB/s, with no
+ * per-transfer overhead.  Callers add setup latency themselves.
+ */
+constexpr SimDuration transferTime(Bytes bytes, double gb_per_s) {
+    return static_cast<SimDuration>(
+        static_cast<double>(bytes) / gbPerSecToBytesPerNs(gb_per_s));
+}
+
+/** Render a duration as a short human-readable string (for reports). */
+std::string formatDuration(SimDuration d);
+
+/** Render a byte count as a short human-readable string. */
+std::string formatBytes(Bytes b);
+
+}  // namespace uvmd::sim
+
+#endif  // UVMD_SIM_TIME_HPP

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * DiscardAdvisor: diagnoses where an application should insert the
+ * discard directive.
+ *
+ * The paper's related work (Section 8) suggests that "a
+ * compiler-assisted approach that detects the buffer reuse distance
+ * can be extended to diagnose the insertion of UvmDiscard API calls";
+ * this is that tool, built on the driver instrumentation instead of a
+ * compiler: it attributes every redundant transfer (as classified by
+ * the Auditor's value-lifetime analysis) to the managed range whose
+ * dead data was moved, counts the dead cycles, and ranks the ranges a
+ * discard call would help.
+ *
+ * Usage: attach to the driver, run the application under plain UVM,
+ * then read suggestions() — each entry names a buffer and the bytes
+ * its missing discards cost.  Running the fixed application again
+ * should produce an empty report.
+ */
+
+#ifndef UVMD_TRACE_ADVISOR_HPP
+#define UVMD_TRACE_ADVISOR_HPP
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/auditor.hpp"
+
+namespace uvmd::uvm {
+class UvmDriver;
+}
+
+namespace uvmd::trace {
+
+class DiscardAdvisor : public uvm::TransferObserver
+{
+  public:
+    /** @param driver used only to resolve range names at report
+     *         time; must outlive the advisor. */
+    explicit DiscardAdvisor(uvm::UvmDriver &driver)
+        : driver_(driver)
+    {}
+
+    // TransferObserver: forwards to the internal auditor and
+    // attributes its classifications per managed range.
+    void onTransfer(const uvm::VaBlock &block,
+                    const uvm::PageMask &pages,
+                    interconnect::Direction dir,
+                    uvm::TransferCause cause) override;
+    void onTransferSkipped(const uvm::VaBlock &block,
+                           const uvm::PageMask &pages,
+                           interconnect::Direction dir,
+                           uvm::TransferCause cause) override;
+    void onAccess(const uvm::VaBlock &block, const uvm::PageMask &pages,
+                  bool is_read, bool is_write,
+                  uvm::ProcessorId where) override;
+    void onDiscard(const uvm::VaBlock &block,
+                   const uvm::PageMask &pages) override;
+    void onFree(const uvm::VaBlock &block,
+                const uvm::PageMask &pages) override;
+
+    /** One diagnosed buffer. */
+    struct Suggestion {
+        std::string range_name;
+        sim::Bytes wasted_bytes = 0;   ///< redundant transfers caused
+        std::uint64_t dead_cycles = 0; ///< overwrite-unread events
+        sim::Bytes already_skipped = 0;  ///< existing discards' effect
+
+        /** The human-readable advice line. */
+        std::string advice() const;
+    };
+
+    /**
+     * Rank the diagnosed buffers by wasted bytes (descending),
+     * dropping those below @p min_wasted.  Closes outstanding
+     * transfers first (call once, after the run).
+     */
+    std::vector<Suggestion> suggestions(sim::Bytes min_wasted = 0);
+
+    /** Print a ranked report. */
+    void report(std::ostream &os, sim::Bytes min_wasted = 0);
+
+    /** The underlying value-lifetime auditor. */
+    const Auditor &auditor() const { return auditor_; }
+
+  private:
+    struct RangeStats {
+        std::string name;
+        sim::Bytes wasted = 0;
+        std::uint64_t dead_cycles = 0;
+        sim::Bytes skipped = 0;
+    };
+
+    /** Run @p fn and attribute the auditor's redundant-byte delta to
+     *  @p block's range. */
+    template <typename Fn>
+    void attribute(const uvm::VaBlock &block, Fn &&fn);
+
+    uvm::UvmDriver &driver_;
+    Auditor auditor_;
+    std::map<std::uint32_t, RangeStats> ranges_;
+    bool finalized_ = false;
+};
+
+}  // namespace uvmd::trace
+
+#endif  // UVMD_TRACE_ADVISOR_HPP

@@ -1,0 +1,151 @@
+#include "trace/auditor.hpp"
+
+namespace uvmd::trace {
+
+using interconnect::Direction;
+
+Auditor::BlockAudit &
+Auditor::auditOf(const uvm::VaBlock &block)
+{
+    return blocks_[block.base / mem::kBigPageSize];
+}
+
+void
+Auditor::onTransfer(const uvm::VaBlock &block,
+                    const uvm::PageMask &pages, Direction dir,
+                    uvm::TransferCause /*cause*/)
+{
+    BlockAudit &audit = auditOf(block);
+    auto &open = dir == Direction::kHostToDevice ? audit.open_h2d
+                                                 : audit.open_d2h;
+    // Pages that already have an open transfer of this direction get
+    // a second one: track the extras in the (rare) overflow map.
+    uvm::PageMask dup = open & pages;
+    if (dup.any()) {
+        auto &extra = dir == Direction::kHostToDevice
+                          ? audit.extra_h2d
+                          : audit.extra_d2h;
+        for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
+            if (dup.test(p))
+                ++extra[p];
+        }
+    }
+    open |= pages;
+    open_bytes_ += pages.count() * mem::kSmallPageSize;
+}
+
+void
+Auditor::onTransferSkipped(const uvm::VaBlock & /*block*/,
+                           const uvm::PageMask &pages, Direction dir,
+                           uvm::TransferCause /*cause*/)
+{
+    sim::Bytes bytes = pages.count() * mem::kSmallPageSize;
+    if (dir == Direction::kHostToDevice)
+        skipped_h2d_ += bytes;
+    else
+        skipped_d2h_ += bytes;
+}
+
+void
+Auditor::close(const uvm::VaBlock &block, const uvm::PageMask &pages,
+               bool required)
+{
+    auto it = blocks_.find(block.base / mem::kBigPageSize);
+    if (it == blocks_.end())
+        return;
+    closeAudit(it->second, pages, required);
+}
+
+void
+Auditor::closeAudit(BlockAudit &audit, const uvm::PageMask &pages,
+                    bool required)
+{
+    uvm::PageMask h = audit.open_h2d & pages;
+    uvm::PageMask d = audit.open_d2h & pages;
+    if (h.none() && d.none())
+        return;
+
+    std::uint64_t h_pages = h.count();
+    std::uint64_t d_pages = d.count();
+    if (!audit.extra_h2d.empty()) {
+        for (auto eit = audit.extra_h2d.begin();
+             eit != audit.extra_h2d.end();) {
+            if (pages.test(eit->first)) {
+                h_pages += eit->second;
+                eit = audit.extra_h2d.erase(eit);
+            } else {
+                ++eit;
+            }
+        }
+    }
+    if (!audit.extra_d2h.empty()) {
+        for (auto eit = audit.extra_d2h.begin();
+             eit != audit.extra_d2h.end();) {
+            if (pages.test(eit->first)) {
+                d_pages += eit->second;
+                eit = audit.extra_d2h.erase(eit);
+            } else {
+                ++eit;
+            }
+        }
+    }
+
+    sim::Bytes hb = h_pages * mem::kSmallPageSize;
+    sim::Bytes db = d_pages * mem::kSmallPageSize;
+    if (required) {
+        required_h2d_ += hb;
+        required_d2h_ += db;
+    } else {
+        redundant_h2d_ += hb;
+        redundant_d2h_ += db;
+    }
+    open_bytes_ -= hb + db;
+    audit.open_h2d &= ~pages;
+    audit.open_d2h &= ~pages;
+}
+
+void
+Auditor::onAccess(const uvm::VaBlock &block, const uvm::PageMask &pages,
+                  bool is_read, bool is_write,
+                  uvm::ProcessorId /*where*/)
+{
+    if (is_read) {
+        // The moved value was consumed: all open transfers of it were
+        // required.  (Read-modify-write closes as required first.)
+        close(block, pages, /*required=*/true);
+    } else if (is_write) {
+        // Overwritten unread: the moves were redundant.
+        close(block, pages, /*required=*/false);
+    }
+}
+
+void
+Auditor::onDiscard(const uvm::VaBlock &block, const uvm::PageMask &pages)
+{
+    close(block, pages, /*required=*/false);
+}
+
+void
+Auditor::onFree(const uvm::VaBlock &block, const uvm::PageMask &pages)
+{
+    close(block, pages, /*required=*/false);
+}
+
+void
+Auditor::finalizeBlock(const uvm::VaBlock &block)
+{
+    uvm::PageMask all;
+    all.set();
+    close(block, all, /*required=*/false);
+}
+
+void
+Auditor::finalize()
+{
+    uvm::PageMask all;
+    all.set();
+    for (auto &kv : blocks_)
+        closeAudit(kv.second, all, /*required=*/false);
+}
+
+}  // namespace uvmd::trace

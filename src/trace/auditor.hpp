@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Transfer auditor: classifies migrations as required or redundant.
+ *
+ * The paper defines redundant memory transfers (RMTs) as automatic
+ * transfers "not needed for correctness" (Sections 1, 3).  The
+ * auditor implements that definition value-centrically:
+ *
+ *   - every write (or zero-fill) starts a new value generation for a
+ *     4 KB page;
+ *   - a transfer of the page "opens" for the current value;
+ *   - a read anywhere closes all open transfers of that page as
+ *     REQUIRED (the moved value was consumed after the moves);
+ *   - the value dying — overwritten without an intervening read,
+ *     discarded, or freed — closes open transfers as REDUNDANT.
+ *
+ * A device-to-host eviction followed by a host-to-device migration
+ * back and a GPU read therefore counts both transfers as required
+ * (skipping either would lose the value), while Figure 2's pattern —
+ * evict dead data out and back, then overwrite — counts both as
+ * redundant.  This is the instrumentation behind Figure 3's
+ * "actually required" series.
+ */
+
+#ifndef UVMD_TRACE_AUDITOR_HPP
+#define UVMD_TRACE_AUDITOR_HPP
+
+#include <array>
+#include <map>
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/stats.hpp"
+#include "uvm/observer.hpp"
+
+namespace uvmd::trace {
+
+class Auditor : public uvm::TransferObserver
+{
+  public:
+    void onTransfer(const uvm::VaBlock &block,
+                    const uvm::PageMask &pages,
+                    interconnect::Direction dir,
+                    uvm::TransferCause cause) override;
+    void onTransferSkipped(const uvm::VaBlock &block,
+                           const uvm::PageMask &pages,
+                           interconnect::Direction dir,
+                           uvm::TransferCause cause) override;
+    void onAccess(const uvm::VaBlock &block, const uvm::PageMask &pages,
+                  bool is_read, bool is_write,
+                  uvm::ProcessorId where) override;
+    void onDiscard(const uvm::VaBlock &block,
+                   const uvm::PageMask &pages) override;
+    void onFree(const uvm::VaBlock &block,
+                const uvm::PageMask &pages) override;
+
+    /**
+     * Close still-open transfers as redundant (a value that is never
+     * read again did not need its last moves).  Call once after the
+     * workload's results have been consumed.
+     */
+    void finalize();
+
+    /** finalize() restricted to one block (per-range attribution). */
+    void finalizeBlock(const uvm::VaBlock &block);
+
+    // ---- Results (bytes) ----
+
+    sim::Bytes requiredH2d() const { return required_h2d_; }
+    sim::Bytes requiredD2h() const { return required_d2h_; }
+    sim::Bytes redundantH2d() const { return redundant_h2d_; }
+    sim::Bytes redundantD2h() const { return redundant_d2h_; }
+    sim::Bytes skippedH2d() const { return skipped_h2d_; }
+    sim::Bytes skippedD2h() const { return skipped_d2h_; }
+
+    sim::Bytes
+    totalTransferred() const
+    {
+        return required_h2d_ + required_d2h_ + redundant_h2d_ +
+               redundant_d2h_ + openBytes();
+    }
+
+    sim::Bytes
+    requiredTotal() const
+    {
+        return required_h2d_ + required_d2h_;
+    }
+
+    sim::Bytes
+    redundantTotal() const
+    {
+        return redundant_h2d_ + redundant_d2h_;
+    }
+
+    /** Bytes of transfers not yet classified. */
+    sim::Bytes openBytes() const { return open_bytes_; }
+
+  private:
+    /**
+     * Per-block open-transfer state.  The common case (at most one
+     * open transfer per page and direction) lives in bitmaps; the
+     * rare page with several open transfers of the same direction
+     * keeps its extra count in the overflow maps.
+     */
+    struct BlockAudit {
+        uvm::PageMask open_h2d;
+        uvm::PageMask open_d2h;
+        std::map<std::uint32_t, std::uint32_t> extra_h2d;
+        std::map<std::uint32_t, std::uint32_t> extra_d2h;
+    };
+
+    BlockAudit &auditOf(const uvm::VaBlock &block);
+
+    /** Close open transfers of the masked pages.
+     *  @param required classify as required (else redundant). */
+    void close(const uvm::VaBlock &block, const uvm::PageMask &pages,
+               bool required);
+    void closeAudit(BlockAudit &audit, const uvm::PageMask &pages,
+                    bool required);
+
+    std::unordered_map<std::uint64_t, BlockAudit> blocks_;
+    sim::Bytes required_h2d_ = 0;
+    sim::Bytes required_d2h_ = 0;
+    sim::Bytes redundant_h2d_ = 0;
+    sim::Bytes redundant_d2h_ = 0;
+    sim::Bytes skipped_h2d_ = 0;
+    sim::Bytes skipped_d2h_ = 0;
+    sim::Bytes open_bytes_ = 0;
+};
+
+}  // namespace uvmd::trace
+
+#endif  // UVMD_TRACE_AUDITOR_HPP

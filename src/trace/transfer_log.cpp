@@ -1,0 +1,113 @@
+#include "trace/transfer_log.hpp"
+
+#include <cstdio>
+
+#include "sim/logging.hpp"
+
+namespace uvmd::trace {
+
+void
+TransferLog::push(Event e, const uvm::VaBlock &b,
+                  const uvm::PageMask &p, interconnect::Direction d,
+                  uvm::TransferCause c)
+{
+    entries_.push_back(Entry{next_ordinal_++, e, b.base,
+                             static_cast<std::uint32_t>(p.count()), d,
+                             c});
+}
+
+void
+TransferLog::onTransfer(const uvm::VaBlock &b, const uvm::PageMask &p,
+                        interconnect::Direction d, uvm::TransferCause c)
+{
+    push(Event::kTransfer, b, p, d, c);
+}
+
+void
+TransferLog::onTransferSkipped(const uvm::VaBlock &b,
+                               const uvm::PageMask &p,
+                               interconnect::Direction d,
+                               uvm::TransferCause c)
+{
+    push(Event::kSkipped, b, p, d, c);
+}
+
+void
+TransferLog::onAccess(const uvm::VaBlock &b, const uvm::PageMask &p,
+                      bool r, bool /*w*/, uvm::ProcessorId /*where*/)
+{
+    if (!log_accesses_)
+        return;
+    // Accesses reuse the direction field: reads pull device-ward.
+    push(Event::kAccess, b, p,
+         r ? interconnect::Direction::kHostToDevice
+           : interconnect::Direction::kDeviceToHost,
+         uvm::TransferCause::kGpuFault);
+}
+
+void
+TransferLog::onDiscard(const uvm::VaBlock &b, const uvm::PageMask &p)
+{
+    push(Event::kDiscard, b, p,
+         interconnect::Direction::kDeviceToHost,
+         uvm::TransferCause::kEviction);
+}
+
+void
+TransferLog::onFree(const uvm::VaBlock &b, const uvm::PageMask &p)
+{
+    push(Event::kFree, b, p, interconnect::Direction::kDeviceToHost,
+         uvm::TransferCause::kEviction);
+}
+
+std::vector<TransferLog::Entry>
+TransferLog::entriesFor(mem::VirtAddr addr) const
+{
+    mem::VirtAddr base = mem::alignDown(addr, mem::kBigPageSize);
+    std::vector<Entry> result;
+    for (const Entry &e : entries_) {
+        if (e.block_base == base)
+            result.push_back(e);
+    }
+    return result;
+}
+
+const char *
+TransferLog::toString(Event e)
+{
+    switch (e) {
+      case Event::kTransfer:
+        return "transfer";
+      case Event::kSkipped:
+        return "skipped";
+      case Event::kDiscard:
+        return "discard";
+      case Event::kFree:
+        return "free";
+      case Event::kAccess:
+        return "access";
+    }
+    return "?";
+}
+
+void
+TransferLog::writeCsv(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        sim::warn("TransferLog::writeCsv: cannot open " + path);
+        return;
+    }
+    std::fprintf(f, "ordinal,event,block,pages,direction,cause\n");
+    for (const Entry &e : entries_) {
+        std::fprintf(f, "%llu,%s,0x%llx,%u,%s,%s\n",
+                     static_cast<unsigned long long>(e.ordinal),
+                     toString(e.event),
+                     static_cast<unsigned long long>(e.block_base),
+                     e.pages, interconnect::toString(e.dir),
+                     uvm::toString(e.cause));
+    }
+    std::fclose(f);
+}
+
+}  // namespace uvmd::trace

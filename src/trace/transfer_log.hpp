@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Event-log instrumentation: an ordered record of every migration,
+ * skip, discard and free the driver performs, and a multiplexer so
+ * several observers (auditor, advisor, log) can watch one driver.
+ *
+ * The log is what you diff when a policy change moves traffic around:
+ * each entry carries the event ordinal, the block base, page count,
+ * direction and cause.  `writeCsv` dumps it for external analysis.
+ */
+
+#ifndef UVMD_TRACE_TRANSFER_LOG_HPP
+#define UVMD_TRACE_TRANSFER_LOG_HPP
+
+#include <string>
+#include <vector>
+
+#include "uvm/observer.hpp"
+
+namespace uvmd::trace {
+
+/** Fans driver events out to several observers, in order. */
+class ObserverMux : public uvm::TransferObserver
+{
+  public:
+    void add(uvm::TransferObserver *obs) { observers_.push_back(obs); }
+
+    void
+    onTransfer(const uvm::VaBlock &b, const uvm::PageMask &p,
+               interconnect::Direction d, uvm::TransferCause c) override
+    {
+        for (auto *o : observers_)
+            o->onTransfer(b, p, d, c);
+    }
+
+    void
+    onTransferSkipped(const uvm::VaBlock &b, const uvm::PageMask &p,
+                      interconnect::Direction d,
+                      uvm::TransferCause c) override
+    {
+        for (auto *o : observers_)
+            o->onTransferSkipped(b, p, d, c);
+    }
+
+    void
+    onAccess(const uvm::VaBlock &b, const uvm::PageMask &p, bool r,
+             bool w, uvm::ProcessorId where) override
+    {
+        for (auto *o : observers_)
+            o->onAccess(b, p, r, w, where);
+    }
+
+    void
+    onDiscard(const uvm::VaBlock &b, const uvm::PageMask &p) override
+    {
+        for (auto *o : observers_)
+            o->onDiscard(b, p);
+    }
+
+    void
+    onFree(const uvm::VaBlock &b, const uvm::PageMask &p) override
+    {
+        for (auto *o : observers_)
+            o->onFree(b, p);
+    }
+
+  private:
+    std::vector<uvm::TransferObserver *> observers_;
+};
+
+/** Records transfer-level events in order. */
+class TransferLog : public uvm::TransferObserver
+{
+  public:
+    enum class Event : std::uint8_t {
+        kTransfer,
+        kSkipped,
+        kDiscard,
+        kFree,
+        kAccess,
+    };
+
+    struct Entry {
+        std::uint64_t ordinal;
+        Event event;
+        mem::VirtAddr block_base;
+        std::uint32_t pages;
+        interconnect::Direction dir;   // transfers/skips only
+        uvm::TransferCause cause;      // transfers/skips only
+    };
+
+    /** @param log_accesses also record one entry per access batch
+     *         (off by default: accesses dominate event volume). */
+    explicit TransferLog(bool log_accesses = false)
+        : log_accesses_(log_accesses)
+    {}
+
+    void onTransfer(const uvm::VaBlock &b, const uvm::PageMask &p,
+                    interconnect::Direction d,
+                    uvm::TransferCause c) override;
+    void onTransferSkipped(const uvm::VaBlock &b,
+                           const uvm::PageMask &p,
+                           interconnect::Direction d,
+                           uvm::TransferCause c) override;
+    void onAccess(const uvm::VaBlock &b, const uvm::PageMask &p,
+                  bool r, bool w, uvm::ProcessorId where) override;
+    void onDiscard(const uvm::VaBlock &b,
+                   const uvm::PageMask &p) override;
+    void onFree(const uvm::VaBlock &b, const uvm::PageMask &p) override;
+
+    const std::vector<Entry> &entries() const { return entries_; }
+    std::size_t size() const { return entries_.size(); }
+    void clear() { entries_.clear(); }
+
+    /** Entries touching the block that contains @p addr. */
+    std::vector<Entry> entriesFor(mem::VirtAddr addr) const;
+
+    /** Dump as CSV (ordinal,event,block,pages,direction,cause). */
+    void writeCsv(const std::string &path) const;
+
+    static const char *toString(Event e);
+
+  private:
+    void push(Event e, const uvm::VaBlock &b, const uvm::PageMask &p,
+              interconnect::Direction d, uvm::TransferCause c);
+
+    bool log_accesses_;
+    std::uint64_t next_ordinal_ = 0;
+    std::vector<Entry> entries_;
+};
+
+}  // namespace uvmd::trace
+
+#endif  // UVMD_TRACE_TRANSFER_LOG_HPP

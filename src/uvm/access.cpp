@@ -1,0 +1,181 @@
+/**
+ * @file
+ * GPU kernel and host access paths — where faults happen.
+ *
+ * GPU accesses to unmapped pages raise replayable fault batches whose
+ * servicing (and SM stall) is far more expensive than a prefetched
+ * migration; this asymmetry drives the paper's "prefetch after
+ * discard" guidance (Section 4.2) and the 3.9x no-prefetch slowdown
+ * observed on Radix-sort (Section 7.3).
+ *
+ * The Section 5.2 contract is enforced here: a write to a
+ * lazily-discarded page that was not re-armed with a prefetch leaves
+ * the driver unaware that the page now holds live data, so the page
+ * can still be reclaimed without a transfer — a real data-loss hazard
+ * that the model reproduces (and warns about).
+ */
+
+#include "sim/logging.hpp"
+#include "uvm/driver.hpp"
+
+namespace uvmd::uvm {
+
+sim::SimTime
+UvmDriver::gpuAccess(GpuId id, const std::vector<Access> &accesses,
+                     sim::SimTime start)
+{
+    sim::SimTime t = start;
+    // Faults raised while this kernel runs accumulate in the GPU's
+    // replayable fault buffer and are drained in batches; the fill
+    // level is shared across the kernel's whole access walk.
+    std::uint32_t batch_fill = 0;
+    for (const Access &a : accesses) {
+        va_space_.forEachBlock(
+            a.addr, a.size, [&](VaBlock &b, const PageMask &m) {
+                t = gpuTouchBlock(b, m, a.kind, id, t, &batch_fill);
+            });
+    }
+    return t;
+}
+
+sim::SimTime
+UvmDriver::gpuTouchBlock(VaBlock &block, const PageMask &m,
+                         AccessKind kind, GpuId id, sim::SimTime start,
+                         std::uint32_t *batch_fill)
+{
+    sim::SimTime t = start;
+    GpuState &g = gpu(id);
+
+    PageMask resident_here =
+        (block.has_gpu_chunk && block.owner_gpu == id)
+            ? (m & block.resident_gpu)
+            : PageMask{};
+    PageMask ok = resident_here & block.mapped_gpu;
+    PageMask faulting = m & ~ok;
+
+    // Remote-access mode (Section 2.3): an advised block whose pages
+    // live on the host is accessed in place over the link instead of
+    // migrating.
+    bool advised = (block.prefer_cpu ||
+                    (block.accessed_by & (1u << id))) &&
+                   !block.counter_migrated;
+    if (advised && (m & ~block.resident_cpu).none())
+        return remoteTouchBlock(block, m, kind, id, t);
+
+    if (faulting.none()) {
+        // TLB-hit path: no driver involvement.
+        PageMask disc = m & block.discarded;
+        if (disc.any() && writes(kind)) {
+            counters_.counter("lazy_contract_writes").inc();
+            if (cfg_.lazy_contract_warnings &&
+                (disc & block.discarded_lazily).any()) {
+                sim::warn("kernel writes lazily-discarded pages at " +
+                          block.describe() +
+                          " without the mandatory prefetch; the data "
+                          "can be lost to reclamation (Section 5.2)");
+            }
+            // The hardware cannot report this write, so the driver's
+            // discard state intentionally stays as-is.
+        }
+        if (block.link.on == mem::QueueKind::kUsed)
+            g.queues.touchUsed(&block);
+        notifyAccess(block, m, kind, ProcessorId::gpu(id));
+        return t;
+    }
+
+    // The block's faults enter the replayable fault buffer; a fresh
+    // batch pays the drain/dedup/replay overhead once.
+    if (*batch_fill == 0) {
+        counters_.counter("gpu_fault_batches").inc();
+        t += cfg_.gpu_fault_cost;
+    }
+    if (++*batch_fill >= cfg_.fault_batch_capacity)
+        *batch_fill = 0;
+    counters_.counter("gpu_faulted_blocks").inc();
+    counters_.counter("gpu_faulted_pages").inc(faulting.count());
+    t += cfg_.gpu_fault_service + cfg_.gpu_fault_stall;
+
+    PageMask missing = m & ~resident_here;
+    if (missing.any())
+        t = migrateToGpu(block, missing, id, TransferCause::kGpuFault, t);
+
+    // Pages that stayed resident but were discarded and unmapped
+    // (eager discard with a surviving chunk): the fault tells the
+    // driver they may hold new values (Section 5.1).
+    PageMask rearm = faulting & block.discarded & block.resident_gpu;
+    if (rearm.any()) {
+        if (!cfg_.track_fully_prepared || !block.fullyPrepared())
+            t = rezeroChunk(block, id, t);
+        block.discarded &= ~rearm;
+        block.discarded_lazily &= ~rearm;
+    }
+
+    t = mapOnGpu(block, m, id, t, /*big_ok=*/m == block.valid);
+    requeueAfterDiscardStateChange(block);
+    if (block.link.on == mem::QueueKind::kUsed)
+        g.queues.touchUsed(&block);
+    notifyAccess(block, m, kind, ProcessorId::gpu(id));
+    return t;
+}
+
+sim::SimTime
+UvmDriver::hostAccess(mem::VirtAddr addr, sim::Bytes size,
+                      AccessKind kind, sim::SimTime start)
+{
+    sim::SimTime t = start;
+    va_space_.forEachBlock(addr, size, [&](VaBlock &b,
+                                           const PageMask &m) {
+        PageMask on_gpu = m & b.resident_gpu;
+        if (on_gpu.any())
+            t = migrateToCpu(b, on_gpu, TransferCause::kCpuFault, t);
+        // Compute population only after the migration: a discarded
+        // page reclaimed without a surviving CPU copy arrives here
+        // unpopulated and needs a zero-filled CPU page like any other
+        // first touch.
+        PageMask unpop = m & ~b.populated();
+        PageMask unmapped = m & b.resident_cpu & ~b.mapped_cpu;
+        PageMask faulted = on_gpu | unpop | unmapped;
+
+        if (faulted.any()) {
+            counters_.counter("cpu_fault_batches").inc();
+            t += cfg_.cpu_fault_cost;
+        }
+        if (unpop.any()) {
+            // First touch from the host: zero-filled CPU pages
+            // (Figure 1, step 1).
+            b.resident_cpu |= unpop;
+            b.cpu_pages_present |= unpop;
+            if (backing_.enabled()) {
+                for (std::uint32_t p = 0; p < mem::kPagesPerBlock;
+                     ++p) {
+                    if (unpop.test(p)) {
+                        backing_.zeroPage(
+                            b.base + p * mem::kSmallPageSize,
+                            mem::CopySlot::kHost);
+                    }
+                }
+            }
+        }
+
+        // Faults are visible to the driver and re-arm the pages.
+        b.discarded &= ~faulted;
+        b.discarded_lazily &= ~faulted;
+
+        PageMask disc = m & b.discarded;
+        if (disc.any() && writes(kind)) {
+            counters_.counter("lazy_contract_writes").inc();
+            if (cfg_.lazy_contract_warnings &&
+                (disc & b.discarded_lazily).any()) {
+                sim::warn("host writes lazily-discarded pages at " +
+                          b.describe() +
+                          " without the mandatory prefetch");
+            }
+        }
+
+        t = mapOnCpu(b, m & b.resident_cpu, t);
+        notifyAccess(b, m, kind, ProcessorId::cpu());
+    });
+    return t;
+}
+
+}  // namespace uvmd::uvm

@@ -1,0 +1,45 @@
+#include "uvm/config.hpp"
+
+namespace uvmd::uvm {
+
+const char *
+toString(DiscardMode mode)
+{
+    return mode == DiscardMode::kEager ? "UvmDiscard" : "UvmDiscardLazy";
+}
+
+const char *
+toString(EvictionPolicy policy)
+{
+    switch (policy) {
+      case EvictionPolicy::kLru:
+        return "lru";
+      case EvictionPolicy::kFifo:
+        return "fifo";
+      case EvictionPolicy::kRandom:
+        return "random";
+    }
+    return "?";
+}
+
+UvmConfig
+UvmConfig::rtx3080ti()
+{
+    UvmConfig cfg;
+    // The 3080Ti reports 11.77 GB of physical memory (Section 7.5).
+    cfg.gpu_memory = static_cast<sim::Bytes>(11.77 * sim::kGiB);
+    return cfg;
+}
+
+UvmConfig
+UvmConfig::gtx1070()
+{
+    UvmConfig cfg;
+    cfg.gpu_memory = 8 * sim::kGiB;
+    // Pascal-generation fault handling and copy engines are slower.
+    cfg.gpu_fault_cost = sim::microseconds(70);
+    cfg.zero_bandwidth_gbps = 180.0;
+    return cfg;
+}
+
+}  // namespace uvmd::uvm

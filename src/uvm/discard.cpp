@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The discard directive: UvmDiscard and UvmDiscardLazy.
+ *
+ * UvmDiscard (Section 5.1) eagerly destroys every CPU and GPU mapping
+ * of the target pages; a later access faults, telling the driver the
+ * page may hold new values.  UvmDiscardLazy (Section 5.2) only flips
+ * the software dirty bits (modelled as the `discarded` mask) and
+ * relies on the mandatory prefetch before reuse.
+ *
+ * Granularity policy (Section 5.4): the directive prefers full 2 MB
+ * blocks.  A partial range that would split a 2 MB GPU mapping is
+ * ignored (counted in discard_ignored_partial) unless the
+ * partial_discard_splits ablation switch is on.
+ */
+
+#include "sim/logging.hpp"
+#include "uvm/driver.hpp"
+
+namespace uvmd::uvm {
+
+sim::SimTime
+UvmDriver::discard(mem::VirtAddr addr, sim::Bytes size,
+                   DiscardMode mode, sim::SimTime start)
+{
+    counters_
+        .counter(mode == DiscardMode::kEager ? "discard_calls_eager"
+                                             : "discard_calls_lazy")
+        .inc();
+    sim::SimTime t = start;
+    va_space_.forEachBlock(addr, size, [&](VaBlock &b,
+                                           const PageMask &m) {
+        bool full = m == b.valid;
+        if (!full && !cfg_.partial_discard_splits &&
+            b.gpu_mapping_big) {
+            // Honouring this partial discard would split the 2 MB GPU
+            // mapping; skip it (Section 5.4).
+            counters_.counter("discard_ignored_partial").inc();
+            return;
+        }
+        t = discardBlock(b, m, mode, t);
+    });
+    return t;
+}
+
+sim::SimTime
+UvmDriver::discardBlock(VaBlock &block, const PageMask &pages,
+                        DiscardMode mode, sim::SimTime start)
+{
+    sim::SimTime t = start;
+    // Never-populated pages hold no data; discarding them is a no-op.
+    PageMask target = pages & block.populated();
+    if (target.none())
+        return t + cfg_.block_op_cost;
+
+    if (observer_)
+        observer_->onDiscard(block, target);
+    counters_.counter("discarded_pages").inc(target.count());
+
+    if (mode == DiscardMode::kEager) {
+        t = unmapFromGpu(block, target, t);
+        t = unmapFromCpu(block, target, t);
+        block.remote_mapped = 0;  // eager unmap covers remote PTEs
+        block.discarded |= target;
+        block.discarded_lazily &= ~target;
+    } else {
+        // Lazy mode only defers the *GPU* unmapping (the hardware
+        // cannot report re-dirtying).  Host page tables have dirty
+        // bits, so the CPU side is write-protected/unmapped so a
+        // host write after the discard still faults and re-arms the
+        // pages — otherwise the Section 4.1 guarantee ("a new value
+        // written after the discard ... is guaranteed to be seen")
+        // would not hold for host writes.
+        t = unmapFromCpu(block, target, t);
+        block.discarded |= target;
+        block.discarded_lazily |= target & block.resident_gpu;
+        t += cfg_.block_op_cost;
+    }
+
+    requeueAfterDiscardStateChange(block);
+    return t;
+}
+
+void
+UvmDriver::requeueAfterDiscardStateChange(VaBlock &block)
+{
+    if (!block.has_gpu_chunk)
+        return;
+    Queues &q = gpu(block.owner_gpu).queues;
+    mem::QueueKind on = q.membership(&block);
+    if (block.allGpuResidentDiscarded() && cfg_.discard_queue_enabled) {
+        // Fully-discarded chunks join the discarded FIFO.  Re-discards
+        // of a block already there keep its FIFO position (the queue
+        // maximizes time-to-reclaim, Section 5.5).
+        if (on != mem::QueueKind::kDiscarded)
+            q.placeOn(&block, mem::QueueKind::kDiscarded);
+    } else if (block.resident_gpu.any()) {
+        if (on != mem::QueueKind::kUsed)
+            q.placeOn(&block, mem::QueueKind::kUsed);
+    } else {
+        if (on != mem::QueueKind::kUnused)
+            q.placeOn(&block, mem::QueueKind::kUnused);
+    }
+}
+
+}  // namespace uvmd::uvm

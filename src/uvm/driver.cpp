@@ -1,0 +1,292 @@
+#include "uvm/driver.hpp"
+
+#include <sstream>
+
+#include "sim/logging.hpp"
+
+namespace uvmd::uvm {
+
+const char *
+toString(TransferCause cause)
+{
+    switch (cause) {
+      case TransferCause::kPrefetch:
+        return "prefetch";
+      case TransferCause::kGpuFault:
+        return "gpu_fault";
+      case TransferCause::kCpuFault:
+        return "cpu_fault";
+      case TransferCause::kEviction:
+        return "eviction";
+    }
+    return "?";
+}
+
+UvmDriver::UvmDriver(const UvmConfig &cfg,
+                     interconnect::LinkSpec link_spec,
+                     interconnect::LinkSpec peer_spec)
+    : cfg_(cfg), eviction_rng_(cfg.eviction_seed),
+      peer_link_(std::move(peer_spec)), backing_(cfg.backed)
+{
+    if (cfg.num_gpus < 1)
+        sim::fatal("UvmDriver: need at least one GPU");
+    gpus_.reserve(cfg.num_gpus);
+    for (int i = 0; i < cfg.num_gpus; ++i)
+        gpus_.push_back(std::make_unique<GpuState>(cfg, link_spec));
+}
+
+UvmDriver::GpuState &
+UvmDriver::gpu(GpuId id)
+{
+    if (id < 0 || id >= static_cast<GpuId>(gpus_.size()))
+        sim::panic("UvmDriver: bad GPU id");
+    return *gpus_[id];
+}
+
+mem::VirtAddr
+UvmDriver::allocManaged(sim::Bytes size, std::string name)
+{
+    counters_.counter("managed_allocs").inc();
+    counters_.counter("managed_bytes").inc(size);
+    return va_space_.createRange(size, std::move(name));
+}
+
+void
+UvmDriver::freeManaged(mem::VirtAddr base)
+{
+    VaRange *range = va_space_.rangeOf(base);
+    if (!range || range->base != base)
+        sim::fatal("freeManaged: not the base of a managed range");
+
+    for (auto &bp : range->blocks) {
+        VaBlock &block = *bp;
+        PageMask populated = block.populated();
+        if (observer_ && populated.any())
+            observer_->onFree(block, populated);
+        if (block.has_gpu_chunk) {
+            // Freed ranges hold no live data: the chunk goes straight
+            // back to the free queue without a transfer.
+            block.mapped_gpu.reset();
+            block.resident_gpu.reset();
+            releaseChunk(block);
+        }
+        if (backing_.enabled()) {
+            for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
+                if (!block.cpu_pages_present.test(p) &&
+                    !populated.test(p)) {
+                    continue;
+                }
+                mem::VirtAddr va = block.base + p * mem::kSmallPageSize;
+                backing_.dropPage(va, mem::CopySlot::kHost);
+                backing_.dropPage(va, mem::CopySlot::kDevice);
+            }
+        }
+    }
+    counters_.counter("managed_frees").inc();
+    va_space_.destroyRange(base);
+}
+
+void
+UvmDriver::reserveGpuMemory(GpuId id, sim::Bytes bytes)
+{
+    gpu(id).allocator.reserve(bytes);
+}
+
+void
+UvmDriver::unreserveGpuMemory(GpuId id, sim::Bytes bytes)
+{
+    gpu(id).allocator.unreserve(bytes);
+}
+
+mem::CopySlot
+UvmDriver::residentSlot(const VaBlock &block, std::uint32_t page) const
+{
+    if (block.resident_gpu.test(page))
+        return mem::CopySlot::kDevice;
+    return mem::CopySlot::kHost;
+}
+
+void
+UvmDriver::poke(mem::VirtAddr addr, const void *data, std::size_t len)
+{
+    if (!backing_.enabled())
+        return;
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    while (len > 0) {
+        VaBlock *block = va_space_.blockOf(addr);
+        if (!block)
+            sim::panic("poke: unmanaged address");
+        std::uint32_t page = mem::pageIndexInBlock(addr);
+        if (!block->populated().test(page))
+            sim::panic("poke: page not populated (missing access "
+                       "declaration?)");
+        std::size_t in_page =
+            mem::kSmallPageSize - addr % mem::kSmallPageSize;
+        std::size_t n = len < in_page ? len : in_page;
+        backing_.write(addr, bytes, n, residentSlot(*block, page));
+        addr += n;
+        bytes += n;
+        len -= n;
+    }
+}
+
+void
+UvmDriver::peek(mem::VirtAddr addr, void *out, std::size_t len)
+{
+    auto *bytes = static_cast<std::uint8_t *>(out);
+    while (len > 0) {
+        VaBlock *block = va_space_.blockOf(addr);
+        if (!block)
+            sim::panic("peek: unmanaged address");
+        std::uint32_t page = mem::pageIndexInBlock(addr);
+        std::size_t in_page =
+            mem::kSmallPageSize - addr % mem::kSmallPageSize;
+        std::size_t n = len < in_page ? len : in_page;
+        backing_.read(addr, bytes, n, residentSlot(*block, page));
+        addr += n;
+        bytes += n;
+        len -= n;
+    }
+}
+
+void
+UvmDriver::accountTransfer(const VaBlock &block, const PageMask &pages,
+                           interconnect::Direction dir,
+                           TransferCause cause)
+{
+    sim::Bytes bytes = pages.count() * mem::kSmallPageSize;
+    std::string key =
+        dir == interconnect::Direction::kHostToDevice ? "bytes_h2d."
+                                                      : "bytes_d2h.";
+    counters_.counter(key + toString(cause)).inc(bytes);
+    if (observer_)
+        observer_->onTransfer(block, pages, dir, cause);
+}
+
+void
+UvmDriver::notifyAccess(const VaBlock &block, const PageMask &pages,
+                        AccessKind kind, ProcessorId where)
+{
+    if (observer_) {
+        observer_->onAccess(block, pages, reads(kind), writes(kind),
+                            where);
+    }
+}
+
+sim::Bytes
+UvmDriver::trafficH2d() const
+{
+    sim::Bytes total = 0;
+    for (const auto &g : gpus_)
+        total += g->link.bytesH2d();
+    return total;
+}
+
+sim::Bytes
+UvmDriver::trafficD2h() const
+{
+    sim::Bytes total = 0;
+    for (const auto &g : gpus_)
+        total += g->link.bytesD2h();
+    return total;
+}
+
+sim::Bytes
+UvmDriver::totalTrafficBytes() const
+{
+    return trafficH2d() + trafficD2h();
+}
+
+void
+UvmDriver::dumpStats(std::ostream &os)
+{
+    counters_.dump(os, "uvm.");
+    for (std::size_t i = 0; i < gpus_.size(); ++i) {
+        GpuState &g = *gpus_[i];
+        std::string prefix = "gpu" + std::to_string(i) + ".";
+        g.link.stats().dump(os, prefix + "link.");
+        g.allocator.stats().dump(os, prefix + "alloc.");
+        g.zero_engine.stats().dump(os, prefix + "zero.");
+        os << prefix << "chunks.total " << g.allocator.totalChunks()
+           << "\n";
+        os << prefix << "chunks.allocated "
+           << g.allocator.allocatedChunks() << "\n";
+        os << prefix << "chunks.reserved "
+           << g.allocator.reservedChunks() << "\n";
+        os << prefix << "queue.unused "
+           << g.queues.unusedQueue().size() << "\n";
+        os << prefix << "queue.used " << g.queues.usedQueue().size()
+           << "\n";
+        os << prefix << "queue.discarded "
+           << g.queues.discardedQueue().size() << "\n";
+    }
+    peer_link_.stats().dump(os, "peer.");
+}
+
+void
+UvmDriver::checkInvariants()
+{
+    std::vector<std::uint64_t> chunks(gpus_.size(), 0);
+    va_space_.forEachBlockAll([&](VaBlock &b) {
+        if ((b.resident_cpu & b.resident_gpu).any())
+            sim::panic("invariant: residency not exclusive: " +
+                       b.describe());
+        if (b.resident_gpu.any() && !b.has_gpu_chunk)
+            sim::panic("invariant: GPU-resident without chunk: " +
+                       b.describe());
+        if (b.has_gpu_chunk) {
+            if (b.owner_gpu < 0 ||
+                b.owner_gpu >= static_cast<GpuId>(gpus_.size())) {
+                sim::panic("invariant: chunk without owner: " +
+                           b.describe());
+            }
+            ++chunks[b.owner_gpu];
+            if (b.link.on == mem::QueueKind::kNone)
+                sim::panic("invariant: chunk not on any queue: " +
+                           b.describe());
+        } else if (b.link.on != mem::QueueKind::kNone) {
+            sim::panic("invariant: queued without chunk: " +
+                       b.describe());
+        }
+        if ((b.mapped_gpu & ~b.resident_gpu).any())
+            sim::panic("invariant: GPU mapping beyond residency: " +
+                       b.describe());
+        if ((b.mapped_cpu & ~b.resident_cpu).any())
+            sim::panic("invariant: CPU mapping beyond residency: " +
+                       b.describe());
+        if ((b.resident_cpu & ~b.cpu_pages_present).any())
+            sim::panic("invariant: CPU-resident without CPU page: " +
+                       b.describe());
+        if ((b.discarded & ~b.populated()).any())
+            sim::panic("invariant: discarded but unpopulated: " +
+                       b.describe());
+        if ((b.populated() & ~b.valid).any())
+            sim::panic("invariant: populated outside range: " +
+                       b.describe());
+        switch (b.link.on) {
+          case mem::QueueKind::kUnused:
+            if (b.resident_gpu.any())
+                sim::panic("invariant: unused queue with residency: " +
+                           b.describe());
+            break;
+          case mem::QueueKind::kDiscarded:
+            if (!b.allGpuResidentDiscarded())
+                sim::panic("invariant: discarded queue with live "
+                           "data: " + b.describe());
+            break;
+          case mem::QueueKind::kUsed:
+            if (!b.resident_gpu.any())
+                sim::panic("invariant: used queue without residency: " +
+                           b.describe());
+            break;
+          case mem::QueueKind::kNone:
+            break;
+        }
+    });
+    for (std::size_t i = 0; i < gpus_.size(); ++i) {
+        if (chunks[i] != gpus_[i]->allocator.allocatedChunks())
+            sim::panic("invariant: chunk accounting mismatch");
+    }
+}
+
+}  // namespace uvmd::uvm

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * UvmDriver — the driver model at the heart of this reproduction.
+ *
+ * Orchestrates the unified address space (VaSpace), per-GPU physical
+ * memory (ChunkAllocator + the Section 5.5 page queues), fault-driven
+ * migration, prefetch, eviction, and the two discard implementations.
+ *
+ * Every operation that consumes time takes a start time and returns a
+ * completion time, reserving spans on the interconnect DMA engines
+ * and the GPU-local zero engine along the way; the CUDA runtime layer
+ * threads stream ordering through these timestamps.
+ *
+ * Implementation is split by concern:
+ *   driver.cpp     construction, allocation, accounting helpers
+ *   migration.cpp  residency movement in both directions
+ *   eviction.cpp   the free->unused->discarded->used-LRU reclaim order
+ *   prefetch.cpp   cudaMemPrefetchAsync semantics (incl. lazy re-dirty)
+ *   discard.cpp    UvmDiscard / UvmDiscardLazy (Sections 5.1-5.2, 5.4)
+ *   access.cpp     GPU kernel and host access paths (fault handling)
+ *   page_table.cpp mapping-cost bookkeeping
+ */
+
+#ifndef UVMD_UVM_DRIVER_HPP
+#define UVMD_UVM_DRIVER_HPP
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "interconnect/link.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/chunk_allocator.hpp"
+#include "mem/page_queues.hpp"
+#include "mem/zero_engine.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/stats.hpp"
+#include "uvm/config.hpp"
+#include "uvm/observer.hpp"
+#include "uvm/va_space.hpp"
+
+namespace uvmd::uvm {
+
+/** How an access touches memory. */
+enum class AccessKind : std::uint8_t { kRead, kWrite, kReadWrite };
+
+constexpr bool reads(AccessKind k) { return k != AccessKind::kWrite; }
+constexpr bool writes(AccessKind k) { return k != AccessKind::kRead; }
+
+/** One contiguous touched span of a kernel (or host loop). */
+struct Access {
+    mem::VirtAddr addr;
+    sim::Bytes size;
+    AccessKind kind;
+};
+
+/** cudaMemAdvise-style hints (the Section 2.3 remote-access mode). */
+enum class MemAdvise : std::uint8_t {
+    kSetAccessedBy,    ///< the GPU maps the data in place; kernel
+                       ///< accesses go over the link, no migration
+    kUnsetAccessedBy,  ///< revert to fault-driven migration
+    kSetPreferredLocationCpu,    ///< GPU faults remote-map instead of
+                                 ///< migrating (any GPU)
+    kUnsetPreferredLocation,
+};
+
+class UvmDriver
+{
+  public:
+    /**
+     * @param cfg        capacities, costs and behaviour switches
+     * @param link_spec  the host-device interconnect (one per GPU)
+     * @param peer_spec  the GPU-to-GPU link used when
+     *                   cfg.peer_enabled (defaults to NVLink-class)
+     */
+    UvmDriver(const UvmConfig &cfg, interconnect::LinkSpec link_spec,
+              interconnect::LinkSpec peer_spec =
+                  interconnect::LinkSpec::nvlink());
+
+    // ------------------------------------------------------------
+    // Address space
+    // ------------------------------------------------------------
+
+    /** cudaMallocManaged: reserve unified VA (no physical memory). */
+    mem::VirtAddr allocManaged(sim::Bytes size, std::string name);
+
+    /** cudaFree of a managed range: release all backing memory. */
+    void freeManaged(mem::VirtAddr base);
+
+    // ------------------------------------------------------------
+    // Oversubscription support (Section 7.1 occupier methodology)
+    // ------------------------------------------------------------
+
+    void reserveGpuMemory(GpuId gpu, sim::Bytes bytes);
+    void unreserveGpuMemory(GpuId gpu, sim::Bytes bytes);
+
+    // ------------------------------------------------------------
+    // Timed driver operations (called by the CUDA runtime layer)
+    // ------------------------------------------------------------
+
+    /**
+     * cudaMemPrefetchAsync to @p dst.  Migrates, prefaults, or — for
+     * lazily-discarded resident pages — just sets the software dirty
+     * bits (Section 5.2).
+     * @return completion time.
+     */
+    sim::SimTime prefetch(mem::VirtAddr addr, sim::Bytes size,
+                          ProcessorId dst, sim::SimTime start);
+
+    /**
+     * The discard directive (Section 4/5) over [addr, addr+size).
+     * @return completion time.
+     */
+    sim::SimTime discard(mem::VirtAddr addr, sim::Bytes size,
+                         DiscardMode mode, sim::SimTime start);
+
+    /**
+     * All memory traffic of one GPU kernel: walks the access list in
+     * order, faulting and migrating as needed.
+     * @return time at which the kernel's memory side is settled (the
+     *         runtime maxes this with the compute duration).
+     */
+    sim::SimTime gpuAccess(GpuId gpu, const std::vector<Access> &accesses,
+                           sim::SimTime start);
+
+    /** Host-side touch of managed memory (init loops, result reads). */
+    sim::SimTime hostAccess(mem::VirtAddr addr, sim::Bytes size,
+                            AccessKind kind, sim::SimTime start);
+
+    /**
+     * cudaMemAdvise: set or clear the remote-access hints over
+     * [addr, addr+size).  Synchronous and cheap (flag updates).
+     */
+    void memAdvise(mem::VirtAddr addr, sim::Bytes size, MemAdvise advice,
+                   GpuId gpu = 0);
+
+    // ------------------------------------------------------------
+    // Data plane (backed mode; no simulated time)
+    // ------------------------------------------------------------
+
+    /**
+     * Write real bytes at @p addr into the currently-resident copy.
+     * @pre the page is populated (an access path ran first).
+     */
+    void poke(mem::VirtAddr addr, const void *data, std::size_t len);
+
+    /** Read real bytes from the currently-resident copy. */
+    void peek(mem::VirtAddr addr, void *out, std::size_t len);
+
+    template <typename T>
+    void
+    pokeValue(mem::VirtAddr addr, const T &v)
+    {
+        poke(addr, &v, sizeof(T));
+    }
+
+    template <typename T>
+    T
+    peekValue(mem::VirtAddr addr)
+    {
+        T v{};
+        peek(addr, &v, sizeof(T));
+        return v;
+    }
+
+    // ------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------
+
+    const UvmConfig &config() const { return cfg_; }
+    VaSpace &vaSpace() { return va_space_; }
+    interconnect::Link &link(GpuId gpu = 0) { return gpus_[gpu]->link; }
+    mem::ChunkAllocator &allocator(GpuId gpu = 0)
+    {
+        return gpus_[gpu]->allocator;
+    }
+
+    using Queues = mem::GpuPageQueues<VaBlock, &VaBlock::link>;
+    Queues &queues(GpuId gpu = 0) { return gpus_[gpu]->queues; }
+
+    /** The GPU-to-GPU peer link (traffic counter "bytes_d2d"). */
+    interconnect::Link &peerLink() { return peer_link_; }
+
+    /** Peer-link bytes moved (not part of the PCIe traffic totals). */
+    sim::Bytes trafficD2d() const { return peer_link_.totalBytes(); }
+
+    mem::BackingStore &backing() { return backing_; }
+    sim::StatGroup &counters() { return counters_; }
+    const sim::StatGroup &counters() const { return counters_; }
+
+    /** Aggregate interconnect traffic across all GPUs. */
+    sim::Bytes totalTrafficBytes() const;
+    sim::Bytes trafficH2d() const;
+    sim::Bytes trafficD2h() const;
+
+    void setObserver(TransferObserver *obs) { observer_ = obs; }
+
+    /** Validate internal invariants; panics on violation (tests). */
+    void checkInvariants();
+
+    /** Dump every statistic (driver counters, per-GPU link/allocator/
+     *  queue state, zero engines) as "name value" lines. */
+    void dumpStats(std::ostream &os);
+
+  private:
+    struct GpuState {
+        explicit GpuState(const UvmConfig &cfg,
+                          const interconnect::LinkSpec &spec)
+            : allocator(cfg.gpu_memory),
+              link(spec),
+              zero_engine(cfg.zero_bandwidth_gbps, cfg.zero_setup)
+        {}
+
+        mem::ChunkAllocator allocator;
+        Queues queues;
+        interconnect::Link link;
+        mem::ZeroEngine zero_engine;
+    };
+
+    // ---- migration.cpp ----
+
+    /**
+     * Make @p pages of @p block resident on @p gpu: allocates the
+     * chunk (evicting under pressure), transfers live pages, and
+     * zero-fills never-populated or discarded pages.  Does not map.
+     * Pages resident on a *different* GPU move peer-to-peer when the
+     * peer link is enabled, else bounce through host memory.
+     * @return completion time.
+     */
+    sim::SimTime migrateToGpu(VaBlock &block, const PageMask &pages,
+                              GpuId gpu, TransferCause cause,
+                              sim::SimTime start);
+
+    /** Drain @p block's residency off its current owner GPU onto
+     *  @p dst (peer transfer or host bounce).  @pre different GPUs. */
+    sim::SimTime migrateGpuToGpu(VaBlock &block, const PageMask &pages,
+                                 GpuId dst, TransferCause cause,
+                                 sim::SimTime start);
+
+    /**
+     * Make @p pages of @p block resident on the CPU, skipping the
+     * transfer of discarded pages (Section 5.3).  Unmaps the GPU
+     * pages; releases the chunk to the unused queue when drained.
+     */
+    sim::SimTime migrateToCpu(VaBlock &block, const PageMask &pages,
+                              TransferCause cause, sim::SimTime start);
+
+    /** Zero-fill GPU pages of a block (chunk must exist). */
+    sim::SimTime zeroGpuPages(VaBlock &block, const PageMask &pages,
+                              GpuId gpu, sim::SimTime start);
+
+    /**
+     * Section 5.7: re-using a discarded page whose chunk was never
+     * fully prepared requires zeroing the whole 2 MB chunk.  Charges
+     * a full-chunk zero; only actually clears (in backed mode) the
+     * pages that were unprepared, so live data is not wiped.
+     */
+    sim::SimTime rezeroChunk(VaBlock &block, GpuId gpu,
+                             sim::SimTime start);
+
+    // ---- eviction.cpp ----
+
+    /**
+     * Allocate one chunk on @p gpu for @p block, running the eviction
+     * process as needed (Section 5.5 order).
+     * @return completion time (>= start when eviction did work).
+     */
+    sim::SimTime allocChunk(VaBlock &block, GpuId gpu,
+                            sim::SimTime start);
+
+    /** Release the chunk of @p block back to the free queue. */
+    void releaseChunk(VaBlock &block);
+
+    /** Move a drained (no GPU-resident pages) chunk to unused. */
+    void chunkToUnused(VaBlock &block);
+
+    /** One eviction step.  @return completion time. */
+    sim::SimTime evictOne(GpuId gpu, sim::SimTime start);
+
+    /** Pick the used-queue victim per cfg_.eviction_policy. */
+    VaBlock *selectUsedVictim(GpuId gpu);
+
+    /** Fully evict @p block's GPU presence with data transfer. */
+    sim::SimTime evictBlock(VaBlock &block, sim::SimTime start);
+
+    // ---- discard.cpp ----
+
+    sim::SimTime discardBlock(VaBlock &block, const PageMask &pages,
+                              DiscardMode mode, sim::SimTime start);
+
+    /** Place a block on used/discarded per its current state. */
+    void requeueAfterDiscardStateChange(VaBlock &block);
+
+    // ---- access.cpp ----
+
+    /** @param batch_fill running count of faults in the kernel's
+     *         current fault-buffer batch (one batch-drain cost is
+     *         charged when a fresh batch opens). */
+    sim::SimTime gpuTouchBlock(VaBlock &block, const PageMask &pages,
+                               AccessKind kind, GpuId gpu,
+                               sim::SimTime start,
+                               std::uint32_t *batch_fill);
+
+    // ---- advise.cpp ----
+
+    /** Kernel access served in place over the interconnect (the
+     *  Section 2.3 remote-access mode).  No residency change. */
+    sim::SimTime remoteTouchBlock(VaBlock &block, const PageMask &pages,
+                                  AccessKind kind, GpuId gpu,
+                                  sim::SimTime start);
+
+    // ---- page_table.cpp ----
+
+    sim::SimTime mapOnGpu(VaBlock &block, const PageMask &pages,
+                          GpuId gpu, sim::SimTime start, bool big_ok);
+    sim::SimTime unmapFromGpu(VaBlock &block, const PageMask &pages,
+                              sim::SimTime start);
+    sim::SimTime mapOnCpu(VaBlock &block, const PageMask &pages,
+                          sim::SimTime start);
+    sim::SimTime unmapFromCpu(VaBlock &block, const PageMask &pages,
+                              sim::SimTime start);
+
+    // ---- driver.cpp helpers ----
+
+    GpuState &gpu(GpuId id);
+    void accountTransfer(const VaBlock &block, const PageMask &pages,
+                         interconnect::Direction dir,
+                         TransferCause cause);
+    void notifyAccess(const VaBlock &block, const PageMask &pages,
+                      AccessKind kind, ProcessorId where);
+    mem::CopySlot residentSlot(const VaBlock &block,
+                               std::uint32_t page) const;
+
+    UvmConfig cfg_;
+    sim::Rng eviction_rng_;
+    std::uint64_t next_alloc_ordinal_ = 0;
+    VaSpace va_space_;
+    std::vector<std::unique_ptr<GpuState>> gpus_;
+    interconnect::Link peer_link_;
+    mem::BackingStore backing_;
+    sim::StatGroup counters_;
+    TransferObserver *observer_ = nullptr;
+};
+
+}  // namespace uvmd::uvm
+
+#endif  // UVMD_UVM_DRIVER_HPP

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The eviction process and chunk lifecycle (Sections 5.5-5.6).
+ *
+ * Allocation pops the free queue; when it is empty the eviction
+ * process reclaims, in order:
+ *
+ *   1. an *unused* chunk (leftover, no transfer, no unmap);
+ *   2. a *discarded* chunk (no transfer; lazily-discarded blocks
+ *      still pay the deferred unmap cost — Section 5.6);
+ *   3. the LRU *used* chunk (swap live pages out to the host).
+ *
+ * Step 2 is this paper's addition and is gated by the
+ * discard_queue_enabled ablation switch.
+ */
+
+#include "sim/logging.hpp"
+#include "uvm/driver.hpp"
+
+namespace uvmd::uvm {
+
+sim::SimTime
+UvmDriver::allocChunk(VaBlock &block, GpuId id, sim::SimTime start)
+{
+    if (block.has_gpu_chunk)
+        sim::panic("allocChunk: block already has a chunk");
+    GpuState &g = gpu(id);
+    sim::SimTime t = start;
+    while (!g.allocator.tryAllocChunk())
+        t = evictOne(id, t);
+    block.has_gpu_chunk = true;
+    block.owner_gpu = id;
+    block.alloc_ordinal = next_alloc_ordinal_++;
+    block.gpu_prepared.reset();
+    block.gpu_mapping_big = false;
+    g.queues.placeOn(&block, mem::QueueKind::kUsed);
+    return t;
+}
+
+void
+UvmDriver::releaseChunk(VaBlock &block)
+{
+    if (!block.has_gpu_chunk)
+        sim::panic("releaseChunk: block has no chunk");
+    if (block.resident_gpu.any())
+        sim::panic("releaseChunk: chunk still holds resident pages");
+    if (block.mapped_gpu.any())
+        sim::panic("releaseChunk: chunk still mapped");
+    GpuState &g = gpu(block.owner_gpu);
+    g.queues.unlink(&block);
+    g.allocator.freeChunk();
+    block.has_gpu_chunk = false;
+    block.owner_gpu = -1;
+    block.gpu_prepared.reset();
+    block.gpu_mapping_big = false;
+}
+
+void
+UvmDriver::chunkToUnused(VaBlock &block)
+{
+    if (!block.has_gpu_chunk || block.resident_gpu.any())
+        sim::panic("chunkToUnused: block not drained");
+    gpu(block.owner_gpu)
+        .queues.placeOn(&block, mem::QueueKind::kUnused);
+}
+
+sim::SimTime
+UvmDriver::evictOne(GpuId id, sim::SimTime start)
+{
+    GpuState &g = gpu(id);
+
+    // 1. Leftover chunks: reclaim directly.
+    if (VaBlock *b = g.queues.unusedQueue().popFront()) {
+        releaseChunk(*b);
+        counters_.counter("evictions_unused").inc();
+        return start + cfg_.reclaim_cost;
+    }
+
+    // 2. Discarded chunks: reclaim without a transfer (Section 5.5).
+    if (cfg_.discard_queue_enabled) {
+        if (VaBlock *b = g.queues.discardedQueue().popFront()) {
+            sim::SimTime t = start;
+            // Lazily-discarded blocks kept their mappings; the unmap
+            // is deferred to this point (Section 5.6).
+            t = unmapFromGpu(*b, b->mapped_gpu, t);
+            PageMask skipped = b->resident_gpu;
+            counters_.counter("saved_d2h_bytes")
+                .inc(skipped.count() * mem::kSmallPageSize);
+            if (observer_) {
+                observer_->onTransferSkipped(
+                    *b, skipped, interconnect::Direction::kDeviceToHost,
+                    TransferCause::kEviction);
+            }
+            if (backing_.enabled()) {
+                for (std::uint32_t p = 0; p < mem::kPagesPerBlock;
+                     ++p) {
+                    if (skipped.test(p)) {
+                        backing_.dropPage(
+                            b->base + p * mem::kSmallPageSize,
+                            mem::CopySlot::kDevice);
+                    }
+                }
+            }
+            // Pages with a surviving pinned CPU copy fall back to it
+            // (and stay discarded); the rest become unpopulated.
+            b->resident_gpu.reset();
+            b->gpu_prepared.reset();
+            b->resident_cpu |= skipped & b->cpu_pages_present;
+            b->discarded &= ~(skipped & ~b->cpu_pages_present);
+            b->discarded_lazily.reset();
+            releaseChunk(*b);
+            counters_.counter("evictions_discarded").inc();
+            return t + cfg_.reclaim_cost;
+        }
+    }
+
+    // 3. A used chunk: swap out to host memory.  The paper's driver
+    // picks the (pseudo-)LRU victim; the policy switch exists to
+    // quantify that choice.
+    if (VaBlock *b = selectUsedVictim(id)) {
+        counters_.counter("evictions_used").inc();
+        return evictBlock(*b, start);
+    }
+
+    sim::fatal("eviction: GPU memory exhausted and nothing evictable "
+               "(working set exceeds framebuffer including the "
+               "occupier reservation)");
+}
+
+VaBlock *
+UvmDriver::selectUsedVictim(GpuId id)
+{
+    auto &used = gpu(id).queues.usedQueue();
+    if (used.empty())
+        return nullptr;
+    switch (cfg_.eviction_policy) {
+      case EvictionPolicy::kLru:
+        // Touches move blocks to the tail, so the head is coldest.
+        return used.front();
+      case EvictionPolicy::kFifo: {
+        // Oldest chunk allocation, ignoring recency (O(n) scan —
+        // acceptable for the ablation configurations).
+        VaBlock *victim = used.front();
+        for (VaBlock *b = used.front(); b; b = used.next(b)) {
+            if (b->alloc_ordinal < victim->alloc_ordinal)
+                victim = b;
+        }
+        return victim;
+      }
+      case EvictionPolicy::kRandom: {
+        std::uint64_t skip = eviction_rng_.below(used.size());
+        VaBlock *b = used.front();
+        while (skip-- > 0)
+            b = used.next(b);
+        return b;
+      }
+    }
+    return used.front();
+}
+
+sim::SimTime
+UvmDriver::evictBlock(VaBlock &block, sim::SimTime start)
+{
+    sim::SimTime t = migrateToCpu(block, block.resident_gpu,
+                                  TransferCause::kEviction, start);
+    // migrateToCpu drained the block onto the unused queue; finish the
+    // reclamation.
+    releaseChunk(block);
+    return t;
+}
+
+}  // namespace uvmd::uvm

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Processor identities for the unified address space.
+ *
+ * UVM residency and mappings are tracked per processor: the host CPU
+ * or one of the GPUs.  ProcessorId is a small value type so it can be
+ * stored densely in per-page metadata.
+ */
+
+#ifndef UVMD_UVM_IDS_HPP
+#define UVMD_UVM_IDS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace uvmd::uvm {
+
+/** Index of a GPU within the driver (0-based). */
+using GpuId = int;
+
+class ProcessorId
+{
+  public:
+    /** Default-constructed id means "no processor". */
+    constexpr ProcessorId() : v_(kNone) {}
+
+    static constexpr ProcessorId cpu() { return ProcessorId(kCpu); }
+    static constexpr ProcessorId gpu(GpuId i)
+    {
+        return ProcessorId(static_cast<std::int16_t>(i));
+    }
+
+    constexpr bool valid() const { return v_ != kNone; }
+    constexpr bool isCpu() const { return v_ == kCpu; }
+    constexpr bool isGpu() const { return v_ >= 0; }
+
+    /** @pre isGpu() */
+    constexpr GpuId gpuIndex() const { return v_; }
+
+    constexpr bool operator==(const ProcessorId &) const = default;
+
+    std::string
+    toString() const
+    {
+        if (!valid())
+            return "none";
+        if (isCpu())
+            return "cpu";
+        return "gpu" + std::to_string(v_);
+    }
+
+  private:
+    static constexpr std::int16_t kNone = -32768;
+    static constexpr std::int16_t kCpu = -1;
+
+    explicit constexpr ProcessorId(std::int16_t v) : v_(v) {}
+
+    std::int16_t v_;
+};
+
+}  // namespace uvmd::uvm
+
+#endif  // UVMD_UVM_IDS_HPP

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Residency movement between host and device.
+ *
+ * The skip rules of Section 5.3 live here: pages marked discarded are
+ * never copied over the interconnect — device-to-host moves keep the
+ * stale pinned CPU page (or leave the page unpopulated), and
+ * host-to-device moves zero-fill a fresh GPU page instead.
+ */
+
+#include "sim/logging.hpp"
+#include "uvm/driver.hpp"
+
+namespace uvmd::uvm {
+
+namespace {
+
+using interconnect::Direction;
+
+sim::Bytes
+maskBytes(const PageMask &mask)
+{
+    return mask.count() * mem::kSmallPageSize;
+}
+
+}  // namespace
+
+/**
+ * Move @p pages of a block over @p link in @p dir, one DMA descriptor
+ * per contiguous run: a fragmented mask (a split 2 MB mapping) pays
+ * the per-transfer setup for every fragment.
+ */
+static sim::SimTime
+transferMask(interconnect::Link &link, const PageMask &pages,
+             interconnect::Direction dir, sim::SimTime start)
+{
+    std::uint32_t runs = countRuns(pages);
+    sim::Bytes bytes = maskBytes(pages);
+    sim::SimDuration duration =
+        runs * link.spec().setup +
+        sim::transferTime(bytes, link.spec().peak_gbps);
+    link.accountTraffic(bytes, dir);
+    return link.engine(dir).reserve(start, duration);
+}
+
+sim::SimTime
+UvmDriver::zeroGpuPages(VaBlock &block, const PageMask &pages,
+                        GpuId id, sim::SimTime start)
+{
+    if (pages.none())
+        return start;
+    sim::SimTime t =
+        start + gpu(id).zero_engine.zeroCost(maskBytes(pages));
+    block.gpu_prepared |= pages;
+    if (backing_.enabled()) {
+        for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
+            if (pages.test(p)) {
+                backing_.zeroPage(block.base + p * mem::kSmallPageSize,
+                                  mem::CopySlot::kDevice);
+            }
+        }
+    }
+    return t;
+}
+
+sim::SimTime
+UvmDriver::rezeroChunk(VaBlock &block, GpuId id, sim::SimTime start)
+{
+    counters_.counter("chunk_rezero_ops").inc();
+    sim::SimTime t =
+        start + gpu(id).zero_engine.zeroCost(mem::kBigPageSize);
+    if (backing_.enabled()) {
+        PageMask unprepared = block.valid & ~block.gpu_prepared &
+                              block.resident_gpu;
+        for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
+            if (unprepared.test(p)) {
+                backing_.zeroPage(block.base + p * mem::kSmallPageSize,
+                                  mem::CopySlot::kDevice);
+            }
+        }
+    }
+    block.gpu_prepared |= block.valid;
+    return t;
+}
+
+sim::SimTime
+UvmDriver::migrateToGpu(VaBlock &block, const PageMask &pages,
+                        GpuId id, TransferCause cause,
+                        sim::SimTime start)
+{
+    sim::SimTime t = start;
+    PageMask want = pages & block.valid;
+
+    if (block.has_gpu_chunk && block.owner_gpu != id) {
+        // The whole block changes owner (per-page residency split
+        // across two GPUs is not modeled).
+        t = migrateGpuToGpu(block, block.resident_gpu, id, cause, t);
+    }
+    if (!block.has_gpu_chunk)
+        t = allocChunk(block, id, t);
+
+    PageMask need = want & ~block.resident_gpu;
+    if (need.none())
+        return t;
+
+    PageMask transfer = need & block.resident_cpu & ~block.discarded;
+    PageMask skipped = need & block.resident_cpu & block.discarded;
+    PageMask fresh = need & ~block.populated();
+    PageMask zeroed = skipped | fresh;
+
+    if (transfer.any()) {
+        // Live data moves over the interconnect (CPU PTEs must go
+        // first so the host cannot see a torn copy).
+        t = unmapFromCpu(block, transfer, t);
+        t = transferMask(gpu(id).link, transfer,
+                         Direction::kHostToDevice, t);
+        accountTransfer(block, transfer, Direction::kHostToDevice,
+                        cause);
+        if (backing_.enabled()) {
+            for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
+                if (transfer.test(p)) {
+                    backing_.copyPage(
+                        block.base + p * mem::kSmallPageSize,
+                        mem::CopySlot::kHost, mem::CopySlot::kDevice);
+                }
+            }
+        }
+        block.gpu_prepared |= transfer;
+    }
+
+    if (zeroed.any()) {
+        // Discarded or never-populated pages take a zero-filled GPU
+        // page instead of a transfer (Section 5.3, second scenario).
+        t = unmapFromCpu(block, zeroed, t);
+        t = zeroGpuPages(block, zeroed, id, t);
+        if (skipped.any()) {
+            counters_.counter("saved_h2d_bytes").inc(maskBytes(skipped));
+            if (observer_) {
+                observer_->onTransferSkipped(
+                    block, skipped, Direction::kHostToDevice, cause);
+            }
+        }
+    }
+
+    block.resident_cpu &= ~need;
+    block.resident_gpu |= need;
+    // Migration invalidates any remote (cross-link) mappings: the
+    // host copy the peers were pointing at moved.
+    block.remote_mapped = 0;
+    // The CPU pages of migrated data stay pinned while the block is on
+    // the GPU (Section 2.2); fresh pages never had one.
+    //
+    // A migration to the GPU only happens on a fault or a prefetch,
+    // both of which tell the driver the pages may now hold new values
+    // (Sections 5.1-5.2): the pages are live again.
+    block.discarded &= ~need;
+    block.discarded_lazily &= ~need;
+    return t;
+}
+
+sim::SimTime
+UvmDriver::migrateGpuToGpu(VaBlock &block, const PageMask &pages,
+                           GpuId dst, TransferCause cause,
+                           sim::SimTime start)
+{
+    GpuId src = block.owner_gpu;
+    if (src == dst || !block.has_gpu_chunk)
+        sim::panic("migrateGpuToGpu: bad source/destination");
+    PageMask moving = pages & block.resident_gpu;
+    if (moving != block.resident_gpu)
+        sim::panic("migrateGpuToGpu: partial cross-GPU residency is "
+                   "not modeled");
+
+    sim::SimTime t = unmapFromGpu(block, block.mapped_gpu, start);
+
+    // Discarded pages do not travel (Section 5.3 applies to peer
+    // moves too): they fall back to a stale pinned host copy or
+    // become unpopulated, exactly as in a device-to-host migration.
+    PageMask skipped = moving & block.discarded;
+    PageMask live = moving & ~block.discarded;
+    if (skipped.any()) {
+        counters_.counter("saved_d2d_bytes")
+            .inc(skipped.count() * mem::kSmallPageSize);
+        if (observer_) {
+            observer_->onTransferSkipped(
+                block, skipped, Direction::kDeviceToHost, cause);
+        }
+        if (backing_.enabled()) {
+            for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
+                if (skipped.test(p)) {
+                    backing_.dropPage(
+                        block.base + p * mem::kSmallPageSize,
+                        mem::CopySlot::kDevice);
+                }
+            }
+        }
+        block.resident_cpu |= skipped & block.cpu_pages_present;
+        block.discarded &= ~(skipped & ~block.cpu_pages_present);
+    }
+    block.discarded_lazily &= ~moving;
+
+    // Hand the source chunk back and take one on the destination.
+    block.resident_gpu.reset();
+    block.gpu_prepared.reset();
+    releaseChunk(block);
+    t = allocChunk(block, dst, t);
+
+    if (live.any()) {
+        sim::Bytes bytes = live.count() * mem::kSmallPageSize;
+        std::uint32_t runs = countRuns(live);
+        counters_.counter("gpu_to_gpu_migrations").inc();
+        if (cfg_.peer_enabled) {
+            // Direct peer copy over the NVLink-class fabric.
+            sim::SimDuration d =
+                runs * peer_link_.spec().setup +
+                sim::transferTime(bytes, peer_link_.spec().peak_gbps);
+            peer_link_.accountTraffic(bytes,
+                                      Direction::kHostToDevice);
+            counters_.counter("bytes_d2d").inc(bytes);
+            t = peer_link_.engine(Direction::kHostToDevice)
+                    .reserve(t, d);
+            // The auditor tracks the moved value like any other
+            // transfer (bucketed device-ward).
+            if (observer_) {
+                observer_->onTransfer(block, live,
+                                      Direction::kHostToDevice,
+                                      cause);
+            }
+        } else {
+            // No peer access: bounce through host memory, paying
+            // both PCIe directions.
+            t = transferMask(gpu(src).link, live,
+                             Direction::kDeviceToHost, t);
+            t = transferMask(gpu(dst).link, live,
+                             Direction::kHostToDevice, t);
+            accountTransfer(block, live, Direction::kDeviceToHost,
+                            cause);
+            accountTransfer(block, live, Direction::kHostToDevice,
+                            cause);
+        }
+        // The device copy moves with the block (exclusive
+        // residency keeps a single device slot).
+        block.resident_gpu |= live;
+        block.gpu_prepared |= live;
+    }
+    return t;
+}
+
+sim::SimTime
+UvmDriver::migrateToCpu(VaBlock &block, const PageMask &pages,
+                        TransferCause cause, sim::SimTime start)
+{
+    PageMask moving = pages & block.resident_gpu;
+    if (moving.none())
+        return start;
+
+    GpuId id = block.owner_gpu;
+    sim::SimTime t = unmapFromGpu(block, moving, start);
+
+    PageMask live = moving & ~block.discarded;
+    PageMask skipped = moving & block.discarded;
+
+    if (live.any()) {
+        t = transferMask(gpu(id).link, live,
+                         Direction::kDeviceToHost, t);
+        accountTransfer(block, live, Direction::kDeviceToHost, cause);
+        if (backing_.enabled()) {
+            for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
+                if (live.test(p)) {
+                    mem::VirtAddr va =
+                        block.base + p * mem::kSmallPageSize;
+                    backing_.copyPage(va, mem::CopySlot::kDevice,
+                                      mem::CopySlot::kHost);
+                }
+            }
+        }
+        block.cpu_pages_present |= live;
+    }
+
+    if (skipped.any()) {
+        // Discarded pages are reclaimed without a transfer (Section
+        // 5.3, first scenario).  Pages with a surviving pinned CPU
+        // copy fall back to that stale copy ("old data values",
+        // Section 4.1); pages without one become unpopulated and will
+        // read as zeros.
+        counters_.counter("saved_d2h_bytes").inc(maskBytes(skipped));
+        if (observer_) {
+            observer_->onTransferSkipped(
+                block, skipped, Direction::kDeviceToHost, cause);
+        }
+    }
+
+    if (backing_.enabled()) {
+        for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
+            if (moving.test(p)) {
+                backing_.dropPage(block.base + p * mem::kSmallPageSize,
+                                  mem::CopySlot::kDevice);
+            }
+        }
+    }
+
+    block.resident_gpu &= ~moving;
+    block.gpu_prepared &= ~moving;
+    block.resident_cpu |= live | (skipped & block.cpu_pages_present);
+    // Skipped pages with no CPU copy leave populated() — a later read
+    // zero-fills them on first touch — and shed their discard state
+    // (unpopulated memory is implicitly contentless).  Pages falling
+    // back to a stale CPU copy stay discarded, so a later migration
+    // back to the GPU can skip the transfer again.
+    block.discarded &= ~(skipped & ~block.cpu_pages_present);
+    block.discarded_lazily &= ~moving;
+
+    if (!block.resident_gpu.any() && block.has_gpu_chunk)
+        chunkToUnused(block);
+    return t;
+}
+
+}  // namespace uvmd::uvm

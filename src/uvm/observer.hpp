@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Driver instrumentation hooks.
+ *
+ * The paper's evaluation relies on driver-level instrumentation to
+ * split "PCIe traffic the driver performed" from "transfers actually
+ * required for correctness" (Figure 3).  The driver reports every
+ * migration, skip, access, discard and free through this interface;
+ * trace::Auditor implements it to classify transfers as redundant.
+ */
+
+#ifndef UVMD_UVM_OBSERVER_HPP
+#define UVMD_UVM_OBSERVER_HPP
+
+#include "interconnect/link.hpp"
+#include "uvm/va_block.hpp"
+
+namespace uvmd::uvm {
+
+/** Why the driver moved (or skipped moving) data. */
+enum class TransferCause : std::uint8_t {
+    kPrefetch,  ///< explicit cudaMemPrefetchAsync
+    kGpuFault,  ///< on-demand GPU fault migration
+    kCpuFault,  ///< host access pulled the data back
+    kEviction,  ///< memory-pressure eviction (Section 5.3, case 1)
+};
+
+const char *toString(TransferCause cause);
+
+class TransferObserver
+{
+  public:
+    virtual ~TransferObserver() = default;
+
+    /** Pages of @p block actually copied over the interconnect. */
+    virtual void onTransfer(const VaBlock &block, const PageMask &pages,
+                            interconnect::Direction dir,
+                            TransferCause cause) = 0;
+
+    /** Pages whose transfer the discard state allowed skipping. */
+    virtual void onTransferSkipped(const VaBlock &block,
+                                   const PageMask &pages,
+                                   interconnect::Direction dir,
+                                   TransferCause cause) = 0;
+
+    /** Pages read and/or written by a processor.  Called after the
+     *  driver made the pages resident at the accessor. */
+    virtual void onAccess(const VaBlock &block, const PageMask &pages,
+                          bool is_read, bool is_write,
+                          ProcessorId where) = 0;
+
+    /** Pages discarded by either directive. */
+    virtual void onDiscard(const VaBlock &block,
+                           const PageMask &pages) = 0;
+
+    /** Pages released by freeing the managed range. */
+    virtual void onFree(const VaBlock &block, const PageMask &pages) = 0;
+};
+
+}  // namespace uvmd::uvm
+
+#endif  // UVMD_UVM_OBSERVER_HPP

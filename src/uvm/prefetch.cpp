@@ -1,0 +1,107 @@
+/**
+ * @file
+ * cudaMemPrefetchAsync semantics (Sections 2.1, 5.2).
+ *
+ * A prefetch to a processor migrates non-resident pages, prefaults
+ * never-populated ones with zero-filled memory, and for pages that are
+ * already resident merely updates access recency (Section 7.5.1).
+ *
+ * For discarded regions the prefetch is the re-arming operation:
+ *  - after UvmDiscard, it re-establishes the eagerly destroyed PTEs
+ *    (Section 5.1: "the cost of waiting for GPUs to destroy and
+ *    reestablish PTEs is unavoidable");
+ *  - after UvmDiscardLazy, it "simply sets the software dirty bits"
+ *    (Section 5.2) — the mandatory notification before reuse.
+ */
+
+#include "sim/logging.hpp"
+#include "uvm/driver.hpp"
+
+namespace uvmd::uvm {
+
+sim::SimTime
+UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
+                    ProcessorId dst, sim::SimTime start)
+{
+    sim::SimTime t = start;
+    counters_.counter("prefetch_calls").inc();
+
+    va_space_.forEachBlock(addr, size, [&](VaBlock &b,
+                                           const PageMask &m) {
+        if (dst.isGpu()) {
+            GpuId id = dst.gpuIndex();
+            PageMask on_gpu =
+                (b.has_gpu_chunk && b.owner_gpu == id)
+                    ? (m & b.resident_gpu)
+                    : PageMask{};
+            PageMask missing = m & ~on_gpu;
+
+            if (missing.any()) {
+                t = migrateToGpu(b, missing, id, TransferCause::kPrefetch,
+                                 t);
+                counters_.counter("prefetch_migrated_pages")
+                    .inc(missing.count());
+            }
+
+            // Re-arm resident pages that are still marked discarded.
+            PageMask rearm = on_gpu & b.discarded;
+            if (rearm.any()) {
+                counters_.counter("prefetch_rearmed_pages")
+                    .inc(rearm.count());
+                if (!cfg_.track_fully_prepared || !b.fullyPrepared())
+                    t = rezeroChunk(b, id, t);
+                if ((rearm & ~b.mapped_gpu).any()) {
+                    // Eagerly-discarded pages: PTEs must come back.
+                    // (The map itself is charged below.)
+                } else {
+                    // Lazy path: a software bitmap update.
+                    t += cfg_.block_op_cost;
+                }
+                b.discarded &= ~rearm;
+                b.discarded_lazily &= ~rearm;
+            }
+
+            t = mapOnGpu(b, m, id, t, /*big_ok=*/m == b.valid);
+
+            if (missing.none() && rearm.none()) {
+                // Pure recency update (Section 7.5.1: prefetches that
+                // neither transfer nor prefault still cost time).
+                t += cfg_.recency_touch_cost;
+                counters_.counter("prefetch_recency_only").inc();
+            }
+
+            requeueAfterDiscardStateChange(b);
+            if (b.link.on == mem::QueueKind::kUsed)
+                gpu(id).queues.touchUsed(&b);
+        } else {
+            // Prefetch to the CPU.
+            PageMask on_gpu = m & b.resident_gpu;
+            if (on_gpu.any())
+                t = migrateToCpu(b, on_gpu, TransferCause::kPrefetch, t);
+            PageMask unpop = m & ~b.populated();
+            if (unpop.any()) {
+                b.resident_cpu |= unpop;
+                b.cpu_pages_present |= unpop;
+                if (backing_.enabled()) {
+                    for (std::uint32_t p = 0; p < mem::kPagesPerBlock;
+                         ++p) {
+                        if (unpop.test(p)) {
+                            backing_.zeroPage(
+                                b.base + p * mem::kSmallPageSize,
+                                mem::CopySlot::kHost);
+                        }
+                    }
+                }
+                t += cfg_.cpu_fault_cost;
+            }
+            // Prefetching declares intent to use: pages are live again.
+            b.discarded &= ~m;
+            b.discarded_lazily &= ~m;
+            t = mapOnCpu(b, m & b.resident_cpu, t);
+            requeueAfterDiscardStateChange(b);
+        }
+    });
+    return t;
+}
+
+}  // namespace uvmd::uvm

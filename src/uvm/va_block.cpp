@@ -1,0 +1,64 @@
+#include "uvm/va_block.hpp"
+
+#include <sstream>
+
+#include "sim/logging.hpp"
+
+namespace uvmd::uvm {
+
+PageMask
+makeMask(std::uint32_t first, std::uint32_t last)
+{
+    if (first > last || last >= mem::kPagesPerBlock)
+        sim::panic("makeMask: bad page range");
+    PageMask mask;
+    for (std::uint32_t i = first; i <= last; ++i)
+        mask.set(i);
+    return mask;
+}
+
+PageMask
+maskForRange(mem::VirtAddr block_base, mem::VirtAddr addr,
+             sim::Bytes size)
+{
+    mem::VirtAddr block_end = block_base + mem::kBigPageSize;
+    mem::VirtAddr lo = addr > block_base ? addr : block_base;
+    mem::VirtAddr hi = addr + size < block_end ? addr + size : block_end;
+    if (lo >= hi)
+        return {};
+    std::uint32_t first =
+        static_cast<std::uint32_t>((lo - block_base) / mem::kSmallPageSize);
+    std::uint32_t last = static_cast<std::uint32_t>(
+        (hi - 1 - block_base) / mem::kSmallPageSize);
+    return makeMask(first, last);
+}
+
+std::uint32_t
+countRuns(const PageMask &mask)
+{
+    std::uint32_t runs = 0;
+    bool in_run = false;
+    for (std::uint32_t i = 0; i < mem::kPagesPerBlock; ++i) {
+        bool set = mask.test(i);
+        if (set && !in_run)
+            ++runs;
+        in_run = set;
+    }
+    return runs;
+}
+
+std::string
+VaBlock::describe() const
+{
+    std::ostringstream os;
+    os << "block@0x" << std::hex << base << std::dec
+       << " cpu=" << resident_cpu.count()
+       << " gpu=" << resident_gpu.count()
+       << " disc=" << discarded.count()
+       << " queue=" << mem::toString(link.on)
+       << (has_gpu_chunk ? " chunk" : "")
+       << (gpu_mapping_big ? " big" : "");
+    return os.str();
+}
+
+}  // namespace uvmd::uvm

@@ -1,0 +1,96 @@
+#include "uvm/va_space.hpp"
+
+#include "sim/logging.hpp"
+
+namespace uvmd::uvm {
+
+mem::VirtAddr
+VaSpace::createRange(sim::Bytes size, std::string name)
+{
+    if (size == 0)
+        sim::fatal("VaSpace::createRange: zero-size allocation");
+
+    std::uint32_t id = next_range_id_++;
+    mem::VirtAddr base = next_base_;
+    sim::Bytes span = mem::alignUp(size, mem::kBigPageSize);
+    next_base_ += span + mem::kBigPageSize;  // guard block between ranges
+
+    VaRange range{id, base, size, std::move(name), {}};
+    std::size_t nblocks = span / mem::kBigPageSize;
+    range.blocks.reserve(nblocks);
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        auto block = std::make_unique<VaBlock>();
+        block->base = base + i * mem::kBigPageSize;
+        block->range_id = id;
+        block->valid = maskForRange(block->base, base, size);
+        block_index_.emplace(block->base / mem::kBigPageSize,
+                             block.get());
+        range.blocks.push_back(std::move(block));
+    }
+    range_by_base_.emplace(base, id);
+    ranges_.emplace(id, std::move(range));
+    return base;
+}
+
+void
+VaSpace::destroyRange(mem::VirtAddr base)
+{
+    auto bit = range_by_base_.find(base);
+    if (bit == range_by_base_.end())
+        sim::fatal("VaSpace::destroyRange: unknown base address");
+    auto rit = ranges_.find(bit->second);
+    for (const auto &block : rit->second.blocks)
+        block_index_.erase(block->base / mem::kBigPageSize);
+    ranges_.erase(rit);
+    range_by_base_.erase(bit);
+}
+
+VaRange *
+VaSpace::rangeOf(mem::VirtAddr addr)
+{
+    VaBlock *block = blockOf(addr);
+    if (!block)
+        return nullptr;
+    auto it = ranges_.find(block->range_id);
+    return it == ranges_.end() ? nullptr : &it->second;
+}
+
+VaBlock *
+VaSpace::blockOf(mem::VirtAddr addr)
+{
+    auto it = block_index_.find(addr / mem::kBigPageSize);
+    return it == block_index_.end() ? nullptr : it->second;
+}
+
+void
+VaSpace::forEachBlock(mem::VirtAddr addr, sim::Bytes size,
+                      const std::function<void(VaBlock &,
+                                               const PageMask &)> &fn)
+{
+    if (size == 0)
+        return;
+    mem::VirtAddr cur = mem::alignDown(addr, mem::kBigPageSize);
+    mem::VirtAddr end = addr + size;
+    for (; cur < end; cur += mem::kBigPageSize) {
+        VaBlock *block = blockOf(cur);
+        if (!block) {
+            sim::fatal("VaSpace::forEachBlock: address 0x" +
+                       std::to_string(cur) + " is not managed");
+        }
+        PageMask mask = maskForRange(block->base, addr, size) &
+                        block->valid;
+        if (mask.any())
+            fn(*block, mask);
+    }
+}
+
+void
+VaSpace::forEachBlockAll(const std::function<void(VaBlock &)> &fn)
+{
+    for (auto &kv : ranges_) {
+        for (auto &block : kv.second.blocks)
+            fn(*block);
+    }
+}
+
+}  // namespace uvmd::uvm

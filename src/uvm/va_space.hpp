@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The unified virtual address space: managed ranges and their blocks.
+ *
+ * Managed allocations receive 2 MB-aligned virtual addresses from a
+ * bump allocator (the simulation never reuses virtual addresses, which
+ * keeps auditing unambiguous).  Each range owns its va_blocks; lookup
+ * by address is O(1) via a block-index map.
+ */
+
+#ifndef UVMD_UVM_VA_SPACE_HPP
+#define UVMD_UVM_VA_SPACE_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "uvm/va_block.hpp"
+
+namespace uvmd::uvm {
+
+struct VaRange {
+    std::uint32_t id;
+    mem::VirtAddr base;
+    sim::Bytes size;
+    std::string name;
+    std::vector<std::unique_ptr<VaBlock>> blocks;
+};
+
+class VaSpace
+{
+  public:
+    /**
+     * Create a managed range of @p size bytes.
+     * @return the 2 MB-aligned base address.
+     */
+    mem::VirtAddr createRange(sim::Bytes size, std::string name);
+
+    /**
+     * Destroy the range based at @p base.
+     * @pre base was returned by createRange and not yet destroyed.
+     */
+    void destroyRange(mem::VirtAddr base);
+
+    /** Range containing @p addr, or nullptr. */
+    VaRange *rangeOf(mem::VirtAddr addr);
+
+    /** Block containing @p addr, or nullptr if unmanaged. */
+    VaBlock *blockOf(mem::VirtAddr addr);
+
+    /**
+     * Invoke @p fn for every block overlapping [addr, addr+size),
+     * in address order, with the per-block page mask restricted to
+     * the intersection of the span and the block's valid pages.
+     * @pre the whole span lies within managed ranges.
+     */
+    void forEachBlock(mem::VirtAddr addr, sim::Bytes size,
+                      const std::function<void(VaBlock &,
+                                               const PageMask &)> &fn);
+
+    /** Invoke @p fn for every block of every range (invariant checks,
+     *  whole-space statistics).  Order is unspecified. */
+    void forEachBlockAll(const std::function<void(VaBlock &)> &fn);
+
+    std::size_t rangeCount() const { return ranges_.size(); }
+    std::size_t blockCount() const { return block_index_.size(); }
+
+  private:
+    std::uint32_t next_range_id_ = 1;
+    // Leave a guard gap between ranges so off-by-one accesses fault
+    // loudly instead of touching a neighbouring allocation.
+    mem::VirtAddr next_base_ = mem::VirtAddr{1} << 40;
+    std::unordered_map<std::uint32_t, VaRange> ranges_;
+    std::unordered_map<mem::VirtAddr, std::uint32_t> range_by_base_;
+    std::unordered_map<std::uint64_t, VaBlock *> block_index_;
+};
+
+}  // namespace uvmd::uvm
+
+#endif  // UVMD_UVM_VA_SPACE_HPP

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Shared vocabulary of the evaluation workloads.
+ *
+ * Every experiment in the paper compares *systems* (Section 7.1):
+ *
+ *   - No-UVM:          explicit cudaMalloc/cudaMemcpy (Listing 1/4);
+ *   - ManualSwap:      the PyTorch-LMS-style per-layer swap policy
+ *                      with a caching allocator (Listing 5, Table 1);
+ *   - UVM-opt:         UVM + prefetching + overlap (the baseline);
+ *   - UvmDiscard:      UVM-opt + eager discard;
+ *   - UvmDiscardLazy:  UVM-opt + lazy discard where the discard is
+ *                      paired with a prefetch, eager elsewhere
+ *                      (Section 7.1's description).
+ *
+ * and runs them at oversubscription ratios created by an idle
+ * occupier program (Occupier below).
+ */
+
+#ifndef UVMD_WORKLOADS_COMMON_HPP
+#define UVMD_WORKLOADS_COMMON_HPP
+
+#include <string>
+
+#include "cuda/runtime.hpp"
+#include "trace/auditor.hpp"
+
+namespace uvmd::workloads {
+
+enum class System {
+    kNoUvm,
+    kManualSwap,
+    kUvmOpt,
+    kUvmDiscard,
+    kUvmDiscardLazy,
+};
+
+const char *toString(System sys);
+
+constexpr bool
+usesUvm(System sys)
+{
+    return sys == System::kUvmOpt || sys == System::kUvmDiscard ||
+           sys == System::kUvmDiscardLazy;
+}
+
+constexpr bool
+usesDiscard(System sys)
+{
+    return sys == System::kUvmDiscard || sys == System::kUvmDiscardLazy;
+}
+
+/**
+ * Issue a discard for @p sys at a call site.
+ *
+ * UvmDiscardLazy replaces only the discards that are paired with a
+ * later re-arming prefetch (Section 7.1); unpaired sites stay eager.
+ * No-op for non-discard systems.
+ */
+inline void
+discardFor(cuda::Runtime &rt, System sys, mem::VirtAddr addr,
+           sim::Bytes size, bool paired_with_prefetch,
+           cuda::StreamId stream = 0)
+{
+    if (!usesDiscard(sys))
+        return;
+    uvm::DiscardMode mode =
+        (sys == System::kUvmDiscardLazy && paired_with_prefetch)
+            ? uvm::DiscardMode::kLazy
+            : uvm::DiscardMode::kEager;
+    rt.discardAsync(addr, size, mode, stream);
+}
+
+/**
+ * The Section 7.1 oversubscription methodology: an idle GPU program
+ * pins memory so that the application's footprint divided by the
+ * remaining usable memory equals the requested ratio.
+ */
+class Occupier
+{
+  public:
+    /**
+     * @param ratio  oversubscription ratio; <= 1.0 means "<100%"
+     *               (no occupation).
+     */
+    Occupier(cuda::Runtime &rt, sim::Bytes app_footprint, double ratio,
+             uvm::GpuId gpu = 0)
+        : rt_(rt), gpu_(gpu)
+    {
+        if (ratio <= 1.0)
+            return;
+        sim::Bytes usable = rt.driver().allocator(gpu).usableBytes();
+        sim::Bytes target_avail =
+            static_cast<sim::Bytes>(app_footprint / ratio);
+        if (target_avail >= usable)
+            return;
+        reserved_ = usable - target_avail;
+        rt.driver().reserveGpuMemory(gpu, reserved_);
+    }
+
+    ~Occupier()
+    {
+        if (reserved_ > 0)
+            rt_.driver().unreserveGpuMemory(gpu_, reserved_);
+    }
+
+    Occupier(const Occupier &) = delete;
+    Occupier &operator=(const Occupier &) = delete;
+
+    sim::Bytes reserved() const { return reserved_; }
+
+  private:
+    cuda::Runtime &rt_;
+    uvm::GpuId gpu_;
+    sim::Bytes reserved_ = 0;
+};
+
+/** Outcome of one experiment run. */
+struct RunResult {
+    System system = System::kUvmOpt;
+    double ovsp_ratio = 0.0;
+
+    /** Measured region wall-clock (excludes input pre-processing,
+     *  matching the paper's methodology). */
+    sim::SimDuration elapsed = 0;
+
+    /** Interconnect traffic over the whole run. */
+    sim::Bytes traffic_h2d = 0;
+    sim::Bytes traffic_d2h = 0;
+
+    /** Auditor classification (whole run). */
+    sim::Bytes required = 0;
+    sim::Bytes redundant = 0;
+    sim::Bytes skipped_by_discard = 0;
+
+    std::uint64_t gpu_fault_batches = 0;
+    std::uint64_t evictions_used = 0;
+    std::uint64_t evictions_discarded = 0;
+
+    sim::Bytes
+    trafficTotal() const
+    {
+        return traffic_h2d + traffic_d2h;
+    }
+
+    double trafficGb() const
+    {
+        return static_cast<double>(trafficTotal()) / 1e9;
+    }
+
+    double elapsedSec() const { return sim::toSeconds(elapsed); }
+};
+
+/** Fill the counter-derived fields of @p result from a finished run. */
+void harvest(RunResult &result, cuda::Runtime &rt,
+             trace::Auditor &auditor);
+
+}  // namespace uvmd::workloads
+
+#endif  // UVMD_WORKLOADS_COMMON_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Neural-network models for the deep-learning evaluation (Section 7.5).
+ *
+ * A NetSpec is the memory-and-compute skeleton of one network: per
+ * layer, the fractions of total weight bytes, of per-sample
+ * activation bytes, and of per-sample compute.  Totals are anchored
+ * to the CUDA allocation sizes the paper reports for each network at
+ * two batch sizes (Section 7.5), so the oversubscription onset in the
+ * simulator matches the paper's:
+ *
+ *   VGG-16:     12.0 GB @ 75,  21.1 GB @ 150
+ *   Darknet-19: 11.2 GB @ 171, 23.4 GB @ 360
+ *   ResNet-53:  10.8 GB @ 56,  28.5 GB @ 150
+ *   RNN:        10.2 GB @ 150, 20.0 GB @ 300
+ *
+ * The accounting model is the Darknet layout the paper converted
+ * (Listings 4/6): per-layer output and delta buffers scale with the
+ * batch; weights (plus their update shadow) and the shared CUDNN
+ * workspace do not.
+ */
+
+#ifndef UVMD_WORKLOADS_DL_MODEL_ZOO_HPP
+#define UVMD_WORKLOADS_DL_MODEL_ZOO_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace uvmd::workloads::dl {
+
+struct LayerSpec {
+    std::string name;
+    double weight_frac;  ///< share of total weight bytes
+    double act_frac;     ///< share of per-sample activation bytes
+    double flops_frac;   ///< share of per-sample compute
+};
+
+struct NetSpec {
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    /** Total weight bytes (duplicated once for weight updates). */
+    sim::Bytes weight_bytes;
+
+    /** Per-sample activation bytes, one direction (outputs); the
+     *  delta (gradient) buffers mirror them. */
+    sim::Bytes act_bytes_per_sample;
+
+    /** Shared CUDNN-style workspace. */
+    sim::Bytes workspace_bytes;
+
+    /** Input sample + label bytes. */
+    sim::Bytes data_bytes_per_sample;
+
+    /** Forward compute per sample; backward costs bwd_multiplier x. */
+    sim::SimDuration fwd_ns_per_sample;
+    double bwd_multiplier = 2.0;
+
+    /** Total CUDA allocation at @p batch (the Figure 5/6 x-axis
+     *  anchor): weights + updates + workspace + per-sample buffers. */
+    sim::Bytes allocBytes(int batch) const;
+
+    /** Per-layer derived sizes. */
+    sim::Bytes layerWeightBytes(std::size_t i) const;
+    sim::Bytes layerActBytes(std::size_t i, int batch) const;
+    sim::SimDuration layerFwdCompute(std::size_t i, int batch) const;
+    sim::SimDuration layerBwdCompute(std::size_t i, int batch) const;
+
+    /** Uniformly scale per-sample activation footprint (used to match
+     *  the GTX-1070 Table 1 setup, which trains smaller inputs). */
+    NetSpec scaledActivations(double factor) const;
+
+    static NetSpec vgg16();
+    static NetSpec darknet19();
+    static NetSpec resnet53();
+    static NetSpec rnn();
+
+    /** All four evaluation networks. */
+    static std::vector<NetSpec> all();
+};
+
+}  // namespace uvmd::workloads::dl
+
+#endif  // UVMD_WORKLOADS_DL_MODEL_ZOO_HPP

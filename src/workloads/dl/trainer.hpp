@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deep-learning training loops under the five memory systems
+ * (Sections 6 and 7.5).
+ *
+ * One training batch is: generate inputs on the host, forward through
+ * every layer (writing per-layer outputs and using the shared
+ * workspace), then backward (reading the stored outputs, producing
+ * per-layer deltas, updating weights).  Dead-buffer structure follows
+ * Listing 6: after backward_i, output_i and delta_{i+1} are dead;
+ * the workspace dies after every layer; the input batch dies after
+ * backward_0.
+ *
+ * Policies:
+ *  - No-UVM (Listing 4): everything cudaMalloc'ed up front; only runs
+ *    when the whole allocation fits.
+ *  - ManualSwap (Listing 5 / PyTorch-LMS): per-layer device buffers
+ *    from a caching allocator, explicit cudaMemcpy swaps.
+ *  - UVM-opt / UvmDiscard / UvmDiscardLazy (Listing 6).
+ */
+
+#ifndef UVMD_WORKLOADS_DL_TRAINER_HPP
+#define UVMD_WORKLOADS_DL_TRAINER_HPP
+
+#include "workloads/common.hpp"
+#include "workloads/dl/model_zoo.hpp"
+
+namespace uvmd::workloads::dl {
+
+struct TrainParams {
+    NetSpec net;
+    int batch_size = 32;
+
+    /** Paper methodology: train 3 mini-batches, measure the next 7. */
+    int warmup_batches = 3;
+    int measured_batches = 7;
+
+    /** Host-side batch generation time (excluded pre-processing is
+     *  modelled as zero; this is the in-loop part). */
+    sim::SimDuration host_gen_time = sim::microseconds(200);
+};
+
+struct TrainResult : RunResult {
+    int batch_size = 0;
+
+    /** Images (samples) per second over the measured batches. */
+    double throughput = 0.0;
+
+    /** Interconnect traffic during the measured region only. */
+    sim::Bytes traffic_measured = 0;
+
+    double
+    trafficMeasuredGb() const
+    {
+        return static_cast<double>(traffic_measured) / 1e9;
+    }
+
+    /** Estimated measured-region required traffic (full-run required
+     *  fraction applied to the measured traffic; see DESIGN.md). */
+    sim::Bytes required_measured = 0;
+};
+
+/** Train @p params.net under @p sys.  Fatal for No-UVM when the
+ *  allocation exceeds GPU memory (the Listing 4 failure mode). */
+TrainResult runTraining(System sys, const TrainParams &params,
+                        interconnect::LinkSpec link,
+                        const uvm::UvmConfig &cfg =
+                            uvm::UvmConfig::rtx3080ti());
+
+}  // namespace uvmd::workloads::dl
+
+#endif  // UVMD_WORKLOADS_DL_TRAINER_HPP

@@ -1,0 +1,107 @@
+#include "workloads/fir.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace uvmd::workloads {
+
+using cuda::KernelDesc;
+using cuda::StreamId;
+using uvm::AccessKind;
+using uvm::ProcessorId;
+
+RunResult
+runFir(System sys, const FirParams &p, interconnect::LinkSpec link,
+       const uvm::UvmConfig &cfg)
+{
+    RunResult result;
+    result.system = sys;
+    result.ovsp_ratio = p.ovsp_ratio;
+
+    cuda::Runtime rt(cfg, std::move(link));
+    trace::Auditor auditor;
+    rt.driver().setObserver(&auditor);
+
+    mem::VirtAddr input = rt.mallocManaged(p.input_bytes, "fir.input");
+    mem::VirtAddr state = rt.mallocManaged(p.state_bytes, "fir.state");
+    mem::VirtAddr output =
+        rt.mallocManaged(p.output_bytes, "fir.output");
+
+    Occupier occupier(rt, p.footprint(), p.ovsp_ratio);
+
+    // ---- Pre-processing (excluded from the measured region) ----
+    // The host generates the input signal; the filter state is
+    // initialized on the GPU (zero-fill, no traffic).
+    rt.hostTouch(input, p.input_bytes, AccessKind::kWrite);
+    KernelDesc init;
+    init.name = "fir.init_state";
+    init.accesses = {{state, p.state_bytes, AccessKind::kWrite}};
+    init.compute = sim::microseconds(50);
+    rt.launch(init);
+    rt.prefetchAsync(output, p.output_bytes, ProcessorId::gpu(0));
+    rt.synchronize();
+
+    // ---- Measured region ----
+    sim::SimTime t0 = rt.now();
+    StreamId compute_stream = 0;
+    StreamId copy_stream = rt.createStream();
+
+    std::size_t windows =
+        (p.input_bytes + p.window_bytes - 1) / p.window_bytes;
+    std::vector<cuda::EventHandle> window_ready(windows);
+
+    auto window_span = [&](std::size_t i) {
+        mem::VirtAddr addr = input + i * p.window_bytes;
+        sim::Bytes size =
+            std::min<sim::Bytes>(p.window_bytes,
+                                 p.input_bytes - i * p.window_bytes);
+        return std::pair<mem::VirtAddr, sim::Bytes>(addr, size);
+    };
+
+    // Prime the pipeline with the first window.
+    {
+        auto [addr, size] = window_span(0);
+        rt.prefetchAsync(addr, size, ProcessorId::gpu(0), copy_stream);
+        window_ready[0] = rt.recordEvent(copy_stream);
+    }
+
+    for (std::size_t i = 0; i < windows; ++i) {
+        auto [addr, size] = window_span(i);
+        rt.streamWaitEvent(compute_stream, window_ready[i]);
+
+        KernelDesc k;
+        k.name = "fir.window" + std::to_string(i);
+        k.accesses = {
+            {addr, size, AccessKind::kRead},
+            {state, p.state_bytes, AccessKind::kReadWrite},
+            {output, p.output_bytes, AccessKind::kReadWrite}};
+        k.compute = static_cast<sim::SimDuration>(
+            p.compute_ns_per_kib *
+            ((size + p.state_bytes) / sim::kKiB));
+        rt.launch(k, compute_stream);
+
+        // The consumed window is dead: discard it.  FIR never reuses
+        // a window, so the discard is not paired with a prefetch.
+        discardFor(rt, sys, addr, size, /*paired_with_prefetch=*/false,
+                   compute_stream);
+
+        // Overlap the next window's prefetch with this kernel.
+        if (i + 1 < windows) {
+            auto [next_addr, next_size] = window_span(i + 1);
+            rt.prefetchAsync(next_addr, next_size, ProcessorId::gpu(0),
+                             copy_stream);
+            window_ready[i + 1] = rt.recordEvent(copy_stream);
+        }
+    }
+    rt.synchronize();
+    result.elapsed = rt.now() - t0;
+
+    // ---- Post-processing: the host consumes the filter output ----
+    rt.hostTouch(output, p.output_bytes, AccessKind::kRead);
+    rt.synchronize();
+
+    harvest(result, rt, auditor);
+    return result;
+}
+
+}  // namespace uvmd::workloads

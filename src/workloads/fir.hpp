@@ -1,0 +1,60 @@
+/**
+ * @file
+ * FIR micro-benchmark (paper Section 7.2).
+ *
+ * A finite-impulse-response filter slides over a large input signal.
+ * Each iteration prefetches one window of host data to the GPU,
+ * convolves it against the filter state (a persistent delay-line and
+ * coefficient buffer), and appends to a small output buffer.  After
+ * the kernel, the consumed window is dead — the natural discard
+ * target.  A double-buffered copy stream overlaps the next window's
+ * prefetch with the current kernel (the UVM-opt optimization of
+ * Section 7.1).
+ *
+ * Under oversubscription the consumed windows are what the eviction
+ * process swaps out: pure RMTs that the discard directive eliminates
+ * (the paper: 5.56 GB saved at every ratio).
+ */
+
+#ifndef UVMD_WORKLOADS_FIR_HPP
+#define UVMD_WORKLOADS_FIR_HPP
+
+#include "workloads/common.hpp"
+
+namespace uvmd::workloads {
+
+struct FirParams {
+    /** Total input signal size (paper: 5.66 GB). */
+    sim::Bytes input_bytes = static_cast<sim::Bytes>(5.66 * 1e9);
+
+    /** Sliding-window size per iteration. */
+    sim::Bytes window_bytes = 256 * sim::kMiB;
+
+    /** Persistent filter state (delay line + coefficients), touched
+     *  by every kernel so it stays hot on the used LRU; the dead
+     *  windows behind the sliding point are what eviction reclaims. */
+    sim::Bytes state_bytes = static_cast<sim::Bytes>(1.0 * 1e9);
+
+    /** Output accumulator. */
+    sim::Bytes output_bytes = 64 * sim::kMiB;
+
+    /** Kernel compute time per byte of window (GPU-side). */
+    double compute_ns_per_kib = 8.0;
+
+    double ovsp_ratio = 0.0;  ///< <=1: "<100%"
+
+    sim::Bytes
+    footprint() const
+    {
+        return input_bytes + state_bytes + output_bytes;
+    }
+};
+
+/** Run FIR under @p sys on @p link. */
+RunResult runFir(System sys, const FirParams &params,
+                 interconnect::LinkSpec link,
+                 const uvm::UvmConfig &cfg = uvm::UvmConfig::rtx3080ti());
+
+}  // namespace uvmd::workloads
+
+#endif  // UVMD_WORKLOADS_FIR_HPP

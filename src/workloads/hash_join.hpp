@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GPU hash-join workload (paper Section 7.4, after Sioulas et al.).
+ *
+ * Two database tables are preprocessed (partitioned) by two kernels
+ * that use large intermediate buffers; a third kernel probes the
+ * partitions and materializes the joined result, which a consume
+ * kernel reduces into a small summary the host reads.  The process
+ * repeats over the same buffers, as a database engine would.
+ *
+ * Discard targets: the partition buffers, the partitioning workspace,
+ * and the result after consumption.  The live tables R and S are what
+ * remains — when they no longer fit (higher oversubscription) even
+ * the discard systems must pay required churn, reproducing the
+ * Table 7/8 trend.
+ */
+
+#ifndef UVMD_WORKLOADS_HASH_JOIN_HPP
+#define UVMD_WORKLOADS_HASH_JOIN_HPP
+
+#include "workloads/common.hpp"
+
+namespace uvmd::workloads {
+
+struct HashJoinParams {
+    /** Each input table (R and S). */
+    sim::Bytes table_bytes = static_cast<sim::Bytes>(1.40 * 1e9);
+
+    /** Partitioned copy of each table. */
+    sim::Bytes partition_bytes = static_cast<sim::Bytes>(1.40 * 1e9);
+
+    /** Partitioning workspace (histograms, offsets). */
+    sim::Bytes workspace_bytes = static_cast<sim::Bytes>(0.50 * 1e9);
+
+    /** Materialized join result. */
+    sim::Bytes result_bytes = static_cast<sim::Bytes>(0.90 * 1e9);
+
+    /** Aggregate summary the host reads per round. */
+    sim::Bytes summary_bytes = 16 * sim::kMiB;
+
+    /** Join rounds over the same buffers. */
+    int rounds = 3;
+
+    /** The probe phase is partition-wise (hardware-conscious joins
+     *  process one partition pair at a time), so each probe kernel's
+     *  working set is a fraction of the full partition buffers. */
+    int join_chunks = 4;
+
+    double compute_ns_per_kib = 6.0;
+
+    double ovsp_ratio = 0.0;
+
+    sim::Bytes
+    footprint() const
+    {
+        return 2 * table_bytes + 2 * partition_bytes +
+               workspace_bytes + result_bytes + summary_bytes;
+    }
+};
+
+RunResult runHashJoin(System sys, const HashJoinParams &params,
+                      interconnect::LinkSpec link,
+                      const uvm::UvmConfig &cfg =
+                          uvm::UvmConfig::rtx3080ti());
+
+}  // namespace uvmd::workloads
+
+#endif  // UVMD_WORKLOADS_HASH_JOIN_HPP

@@ -1,0 +1,363 @@
+#include "workloads/scenario.hpp"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "cuda/runtime.hpp"
+#include "sim/logging.hpp"
+#include "trace/advisor.hpp"
+
+namespace uvmd::workloads {
+
+namespace {
+
+[[noreturn]] void
+scriptError(std::size_t line_no, const std::string &msg)
+{
+    sim::fatal("scenario line " + std::to_string(line_no) + ": " + msg);
+}
+
+/** Parse "64MB", "4KiB", "2GB" into bytes. */
+sim::Bytes
+parseSize(std::size_t line_no, const std::string &token)
+{
+    std::size_t pos = 0;
+    double value = 0;
+    try {
+        value = std::stod(token, &pos);
+    } catch (const std::exception &) {
+        scriptError(line_no, "bad size '" + token + "'");
+    }
+    std::string unit = token.substr(pos);
+    double factor = 0;
+    if (unit == "B" || unit.empty())
+        factor = 1;
+    else if (unit == "KB")
+        factor = 1e3;
+    else if (unit == "MB")
+        factor = 1e6;
+    else if (unit == "GB")
+        factor = 1e9;
+    else if (unit == "KiB")
+        factor = sim::kKiB;
+    else if (unit == "MiB")
+        factor = sim::kMiB;
+    else if (unit == "GiB")
+        factor = sim::kGiB;
+    else
+        scriptError(line_no, "bad size unit '" + unit + "'");
+    return static_cast<sim::Bytes>(value * factor);
+}
+
+/** Parse "500us", "3ms", "1s" into a duration. */
+sim::SimDuration
+parseDuration(std::size_t line_no, const std::string &token)
+{
+    std::size_t pos = 0;
+    double value = 0;
+    try {
+        value = std::stod(token, &pos);
+    } catch (const std::exception &) {
+        scriptError(line_no, "bad duration '" + token + "'");
+    }
+    std::string unit = token.substr(pos);
+    if (unit == "ns")
+        return sim::nanoseconds(value);
+    if (unit == "us")
+        return sim::microseconds(value);
+    if (unit == "ms")
+        return sim::milliseconds(value);
+    if (unit == "s")
+        return sim::seconds(value);
+    scriptError(line_no, "bad duration unit '" + unit + "'");
+}
+
+struct Buffer {
+    mem::VirtAddr addr;
+    sim::Bytes size;
+};
+
+/** Parses header directives, then replays the op lines. */
+class ScenarioInterpreter
+{
+  public:
+    explicit ScenarioInterpreter(const std::string &script)
+    {
+        std::istringstream in(script);
+        std::string raw;
+        std::size_t line_no = 0;
+        while (std::getline(in, raw)) {
+            ++line_no;
+            auto hash = raw.find('#');
+            if (hash != std::string::npos)
+                raw.erase(hash);
+            std::istringstream ls(raw);
+            std::vector<std::string> tokens;
+            std::string tok;
+            while (ls >> tok)
+                tokens.push_back(tok);
+            if (!tokens.empty())
+                lines_.push_back({line_no, std::move(tokens)});
+        }
+    }
+
+  private:
+    using Line = std::pair<std::size_t, std::vector<std::string>>;
+
+    const std::string &
+    argStr(std::size_t i, std::size_t k)
+    {
+        const auto &[line_no, tokens] = lines_[i];
+        if (k >= tokens.size())
+            scriptError(line_no, "missing argument");
+        return tokens[k];
+    }
+
+    template <typename Fn>
+    auto
+    arg(std::size_t i, std::size_t k, Fn parse)
+    {
+        return parse(lines_[i].first, argStr(i, k));
+    }
+
+    Buffer &
+    buffer(std::size_t i, const std::string &name)
+    {
+        auto it = buffers_.find(name);
+        if (it == buffers_.end())
+            scriptError(lines_[i].first,
+                        "unknown buffer '" + name + "'");
+        return it->second;
+    }
+
+
+  public:
+    ScenarioResult
+    run()
+    {
+        // Pass 1: configuration directives (must precede ops).
+        uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+        interconnect::LinkSpec link = interconnect::LinkSpec::pcie4();
+        sim::Bytes occupy = 0;
+        std::size_t first_op = lines_.size();
+        for (std::size_t i = 0; i < lines_.size(); ++i) {
+            const auto &[line_no, tokens] = lines_[i];
+            const std::string &cmd = tokens[0];
+            if (cmd == "gpu_memory") {
+                cfg.gpu_memory = arg(i, 1, &parseSize);
+            } else if (cmd == "link") {
+                const std::string &name = argStr(i, 1);
+                if (name == "pcie3")
+                    link = interconnect::LinkSpec::pcie3();
+                else if (name == "pcie4")
+                    link = interconnect::LinkSpec::pcie4();
+                else if (name == "nvlink")
+                    link = interconnect::LinkSpec::nvlink();
+                else
+                    scriptError(line_no, "unknown link '" + name + "'");
+            } else if (cmd == "policy") {
+                const std::string &name = argStr(i, 1);
+                if (name == "lru")
+                    cfg.eviction_policy = uvm::EvictionPolicy::kLru;
+                else if (name == "fifo")
+                    cfg.eviction_policy = uvm::EvictionPolicy::kFifo;
+                else if (name == "random")
+                    cfg.eviction_policy = uvm::EvictionPolicy::kRandom;
+                else
+                    scriptError(line_no,
+                                "unknown policy '" + name + "'");
+            } else if (cmd == "occupy") {
+                occupy = arg(i, 1, &parseSize);
+            } else {
+                first_op = i;
+                break;
+            }
+        }
+
+        rt_ = std::make_unique<cuda::Runtime>(cfg, link);
+        advisor_ =
+            std::make_unique<trace::DiscardAdvisor>(rt_->driver());
+        rt_->driver().setObserver(advisor_.get());
+        if (occupy > 0)
+            rt_->driver().reserveGpuMemory(0, occupy);
+
+        // Pass 2: operations.
+        for (std::size_t i = first_op; i < lines_.size(); ++i)
+            executeOp(i);
+        rt_->synchronize();
+
+        ScenarioResult result;
+        result.elapsed = rt_->now();
+        uvm::UvmDriver &drv = rt_->driver();
+        result.traffic_h2d = drv.trafficH2d();
+        result.traffic_d2h = drv.trafficD2h();
+        result.gpu_fault_batches =
+            drv.counters().get("gpu_fault_batches");
+        result.evictions_used = drv.counters().get("evictions_used");
+        result.evictions_discarded =
+            drv.counters().get("evictions_discarded");
+        std::ostringstream report;
+        advisor_->report(report);
+        result.advisor_report = report.str();
+        result.required = advisor_->auditor().requiredTotal();
+        result.redundant = advisor_->auditor().redundantTotal();
+        result.skipped_by_discard = advisor_->auditor().skippedH2d() +
+                                    advisor_->auditor().skippedD2h();
+        return result;
+    }
+
+  private:
+    void
+    executeOp(std::size_t i)
+    {
+        const auto &[line_no, tokens] = lines_[i];
+        const std::string &cmd = tokens[0];
+
+        if (cmd == "alloc") {
+            const std::string &name = argStr(i, 1);
+            if (buffers_.count(name))
+                scriptError(line_no, "buffer '" + name +
+                                         "' already exists");
+            sim::Bytes size = arg(i, 2, &parseSize);
+            buffers_[name] = {rt_->mallocManaged(size, name), size};
+        } else if (cmd == "free") {
+            const std::string &name = argStr(i, 1);
+            Buffer &b = buffer(i, name);
+            rt_->freeManaged(b.addr);
+            buffers_.erase(name);
+        } else if (cmd == "host_write" || cmd == "host_read") {
+            Buffer &b = buffer(i, argStr(i, 1));
+            rt_->hostTouch(b.addr, b.size,
+                           cmd == "host_write"
+                               ? uvm::AccessKind::kWrite
+                               : uvm::AccessKind::kRead);
+        } else if (cmd == "prefetch") {
+            Buffer &b = buffer(i, argStr(i, 1));
+            const std::string &dst = argStr(i, 2);
+            if (dst == "gpu") {
+                rt_->prefetchAsync(b.addr, b.size,
+                                   uvm::ProcessorId::gpu(0));
+            } else if (dst == "cpu") {
+                rt_->prefetchAsync(b.addr, b.size,
+                                   uvm::ProcessorId::cpu());
+            } else {
+                scriptError(line_no,
+                            "prefetch destination must be gpu|cpu");
+            }
+        } else if (cmd == "discard") {
+            Buffer &b = buffer(i, argStr(i, 1));
+            const std::string &mode = argStr(i, 2);
+            if (mode != "eager" && mode != "lazy")
+                scriptError(line_no, "discard mode must be eager|lazy");
+            rt_->discardAsync(b.addr, b.size,
+                              mode == "eager"
+                                  ? uvm::DiscardMode::kEager
+                                  : uvm::DiscardMode::kLazy);
+        } else if (cmd == "advise") {
+            Buffer &b = buffer(i, argStr(i, 1));
+            const std::string &advice = argStr(i, 2);
+            if (advice == "accessed_by") {
+                rt_->memAdvise(b.addr, b.size,
+                               uvm::MemAdvise::kSetAccessedBy);
+            } else if (advice == "prefer_cpu") {
+                rt_->memAdvise(
+                    b.addr, b.size,
+                    uvm::MemAdvise::kSetPreferredLocationCpu);
+            } else if (advice == "unset") {
+                rt_->memAdvise(b.addr, b.size,
+                               uvm::MemAdvise::kUnsetAccessedBy);
+                rt_->memAdvise(
+                    b.addr, b.size,
+                    uvm::MemAdvise::kUnsetPreferredLocation);
+            } else {
+                scriptError(line_no,
+                            "advice must be accessed_by|prefer_cpu|"
+                            "unset");
+            }
+        } else if (cmd == "kernel") {
+            cuda::KernelDesc k;
+            k.name = argStr(i, 1);
+            std::size_t pos = 2;
+            const auto &toks = tokens;
+            while (pos < toks.size()) {
+                const std::string &word = toks[pos];
+                if (word == "compute") {
+                    k.compute = arg(i, pos + 1, &parseDuration);
+                    pos += 2;
+                } else if (word == "read" || word == "write" ||
+                           word == "rw") {
+                    Buffer &b = buffer(i, argStr(i, pos + 1));
+                    uvm::AccessKind kind =
+                        word == "read"
+                            ? uvm::AccessKind::kRead
+                            : word == "write"
+                                  ? uvm::AccessKind::kWrite
+                                  : uvm::AccessKind::kReadWrite;
+                    k.accesses.push_back({b.addr, b.size, kind});
+                    pos += 2;
+                } else {
+                    scriptError(line_no,
+                                "unexpected token '" + word +
+                                    "' in kernel");
+                }
+            }
+            rt_->launch(k);
+        } else if (cmd == "sync") {
+            rt_->synchronize();
+        } else if (cmd == "gpu_memory" || cmd == "link" ||
+                   cmd == "policy" || cmd == "occupy") {
+            scriptError(line_no,
+                        "configuration directives must precede all "
+                        "operations");
+        } else {
+            scriptError(line_no, "unknown command '" + cmd + "'");
+        }
+    }
+
+    std::vector<Line> lines_;
+    std::unique_ptr<cuda::Runtime> rt_;
+    std::unique_ptr<trace::DiscardAdvisor> advisor_;
+    std::map<std::string, Buffer> buffers_;
+};
+
+}  // namespace
+
+std::string
+ScenarioResult::summary() const
+{
+    std::ostringstream os;
+    os << "simulated time:    " << sim::formatDuration(elapsed) << "\n"
+       << "traffic h2d:       " << sim::formatBytes(traffic_h2d) << "\n"
+       << "traffic d2h:       " << sim::formatBytes(traffic_d2h) << "\n"
+       << "required:          " << sim::formatBytes(required) << "\n"
+       << "redundant:         " << sim::formatBytes(redundant) << "\n"
+       << "skipped (discard): " << sim::formatBytes(skipped_by_discard)
+       << "\n"
+       << "gpu fault batches: " << gpu_fault_batches << "\n"
+       << "evictions (used):  " << evictions_used << "\n"
+       << "evictions (disc.): " << evictions_discarded << "\n"
+       << advisor_report;
+    return os.str();
+}
+
+ScenarioResult
+runScenario(const std::string &script)
+{
+    return ScenarioInterpreter(script).run();
+}
+
+ScenarioResult
+runScenarioFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("scenario: cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return runScenario(buf.str());
+}
+
+}  // namespace uvmd::workloads

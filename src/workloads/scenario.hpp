@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Scenario DSL: a small text language over the runtime API, so memory
+ * behaviour experiments don't require writing C++.
+ *
+ * A scenario is a line-oriented script (comments start with '#'):
+ *
+ *     gpu_memory 256MB          # before any allocation
+ *     link pcie4                # pcie3 | pcie4 | nvlink
+ *     policy lru                # lru | fifo | random
+ *     occupy 128MB              # oversubscription occupier
+ *     alloc A 64MB              # cudaMallocManaged
+ *     host_write A              # host touches the whole buffer
+ *     prefetch A gpu            # cudaMemPrefetchAsync (gpu | cpu)
+ *     advise A prefer_cpu       # accessed_by | prefer_cpu | unset
+ *     kernel k1 read A write B rw C compute 500us
+ *     discard A eager           # eager | lazy
+ *     host_read A
+ *     free A
+ *     sync
+ *
+ * Sizes take KB/MB/GB suffixes (decimal) or KiB/MiB/GiB (binary);
+ * durations take us/ms/s.  The runner executes the script against a
+ * fresh Runtime with an auditor attached and returns the final
+ * statistics; `ScenarioResult::summary()` renders them.
+ *
+ * See examples/scenarios/*.uvm and examples/scenario_runner.cpp.
+ */
+
+#ifndef UVMD_WORKLOADS_SCENARIO_HPP
+#define UVMD_WORKLOADS_SCENARIO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "workloads/common.hpp"
+
+namespace uvmd::workloads {
+
+struct ScenarioResult {
+    /** Simulated wall clock at the end of the script. */
+    sim::SimDuration elapsed = 0;
+
+    sim::Bytes traffic_h2d = 0;
+    sim::Bytes traffic_d2h = 0;
+    sim::Bytes required = 0;
+    sim::Bytes redundant = 0;
+    sim::Bytes skipped_by_discard = 0;
+    std::uint64_t gpu_fault_batches = 0;
+    std::uint64_t evictions_used = 0;
+    std::uint64_t evictions_discarded = 0;
+
+    /** The advisor's ranked discard suggestions for this run. */
+    std::string advisor_report;
+
+    /** Human-readable multi-line summary of everything above. */
+    std::string summary() const;
+};
+
+/**
+ * Parse and execute @p script.
+ * @throws sim::FatalError on syntax errors (with a line number) and
+ *         on the usual runtime errors (unknown buffer, OOM, ...).
+ */
+ScenarioResult runScenario(const std::string &script);
+
+/** Load the script from @p path and run it. */
+ScenarioResult runScenarioFile(const std::string &path);
+
+}  // namespace uvmd::workloads
+
+#endif  // UVMD_WORKLOADS_SCENARIO_HPP

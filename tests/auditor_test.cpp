@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the RMT auditor: value-lifetime classification of
+ * transfers as required or redundant, driven both directly and
+ * end-to-end through the driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "trace/auditor.hpp"
+#include "uvm/driver.hpp"
+
+namespace uvmd::trace {
+namespace {
+
+using interconnect::Direction;
+using mem::kBigPageSize;
+using uvm::AccessKind;
+using uvm::PageMask;
+using uvm::ProcessorId;
+using uvm::TransferCause;
+using uvm::VaBlock;
+
+PageMask
+fullMask()
+{
+    PageMask m;
+    m.set();
+    return m;
+}
+
+class AuditorUnitTest : public ::testing::Test
+{
+  protected:
+    AuditorUnitTest()
+    {
+        block_.base = 4 * kBigPageSize;
+        block_.valid = fullMask();
+    }
+
+    VaBlock block_;
+    Auditor auditor_;
+};
+
+TEST_F(AuditorUnitTest, TransferThenReadIsRequired)
+{
+    auditor_.onTransfer(block_, fullMask(),
+                        Direction::kHostToDevice,
+                        TransferCause::kPrefetch);
+    auditor_.onAccess(block_, fullMask(), /*read=*/true,
+                      /*write=*/false, ProcessorId::gpu(0));
+    EXPECT_EQ(auditor_.requiredH2d(), kBigPageSize);
+    EXPECT_EQ(auditor_.redundantTotal(), 0u);
+    EXPECT_EQ(auditor_.openBytes(), 0u);
+}
+
+TEST_F(AuditorUnitTest, TransferThenOverwriteIsRedundant)
+{
+    auditor_.onTransfer(block_, fullMask(),
+                        Direction::kHostToDevice,
+                        TransferCause::kGpuFault);
+    auditor_.onAccess(block_, fullMask(), /*read=*/false,
+                      /*write=*/true, ProcessorId::gpu(0));
+    EXPECT_EQ(auditor_.redundantH2d(), kBigPageSize);
+    EXPECT_EQ(auditor_.requiredTotal(), 0u);
+}
+
+TEST_F(AuditorUnitTest, ReadWriteClosesAsRequired)
+{
+    auditor_.onTransfer(block_, fullMask(),
+                        Direction::kDeviceToHost,
+                        TransferCause::kEviction);
+    auditor_.onAccess(block_, fullMask(), /*read=*/true,
+                      /*write=*/true, ProcessorId::cpu());
+    EXPECT_EQ(auditor_.requiredD2h(), kBigPageSize);
+}
+
+TEST_F(AuditorUnitTest, RoundTripThenReadMarksBothRequired)
+{
+    // Figure-2-like, but the data IS read after coming back: the
+    // eviction and the return trip were both needed.
+    auditor_.onTransfer(block_, fullMask(), Direction::kDeviceToHost,
+                        TransferCause::kEviction);
+    auditor_.onTransfer(block_, fullMask(), Direction::kHostToDevice,
+                        TransferCause::kGpuFault);
+    auditor_.onAccess(block_, fullMask(), true, false,
+                      ProcessorId::gpu(0));
+    EXPECT_EQ(auditor_.requiredD2h(), kBigPageSize);
+    EXPECT_EQ(auditor_.requiredH2d(), kBigPageSize);
+}
+
+TEST_F(AuditorUnitTest, RoundTripThenOverwriteMarksBothRedundant)
+{
+    // Figure 2's RMT pattern: dead data swapped out and back, then
+    // overwritten.
+    auditor_.onTransfer(block_, fullMask(), Direction::kDeviceToHost,
+                        TransferCause::kEviction);
+    auditor_.onTransfer(block_, fullMask(), Direction::kHostToDevice,
+                        TransferCause::kGpuFault);
+    auditor_.onAccess(block_, fullMask(), false, true,
+                      ProcessorId::gpu(0));
+    EXPECT_EQ(auditor_.redundantD2h(), kBigPageSize);
+    EXPECT_EQ(auditor_.redundantH2d(), kBigPageSize);
+}
+
+TEST_F(AuditorUnitTest, ReadClosesOnlyOpenTransfers)
+{
+    // Read, then a later transfer: the new transfer is open again.
+    auditor_.onTransfer(block_, fullMask(), Direction::kDeviceToHost,
+                        TransferCause::kEviction);
+    auditor_.onAccess(block_, fullMask(), true, false,
+                      ProcessorId::cpu());
+    auditor_.onTransfer(block_, fullMask(), Direction::kHostToDevice,
+                        TransferCause::kPrefetch);
+    // The value is never read on the GPU and then dies.
+    auditor_.onAccess(block_, fullMask(), false, true,
+                      ProcessorId::gpu(0));
+    EXPECT_EQ(auditor_.requiredD2h(), kBigPageSize);
+    EXPECT_EQ(auditor_.redundantH2d(), kBigPageSize);
+}
+
+TEST_F(AuditorUnitTest, DiscardClosesAsRedundant)
+{
+    auditor_.onTransfer(block_, fullMask(), Direction::kDeviceToHost,
+                        TransferCause::kEviction);
+    auditor_.onDiscard(block_, fullMask());
+    EXPECT_EQ(auditor_.redundantD2h(), kBigPageSize);
+}
+
+TEST_F(AuditorUnitTest, FreeClosesAsRedundant)
+{
+    auditor_.onTransfer(block_, fullMask(), Direction::kHostToDevice,
+                        TransferCause::kPrefetch);
+    auditor_.onFree(block_, fullMask());
+    EXPECT_EQ(auditor_.redundantH2d(), kBigPageSize);
+}
+
+TEST_F(AuditorUnitTest, FinalizeClosesLeftoversAsRedundant)
+{
+    auditor_.onTransfer(block_, fullMask(), Direction::kHostToDevice,
+                        TransferCause::kPrefetch);
+    EXPECT_EQ(auditor_.openBytes(), kBigPageSize);
+    auditor_.finalize();
+    EXPECT_EQ(auditor_.openBytes(), 0u);
+    EXPECT_EQ(auditor_.redundantH2d(), kBigPageSize);
+}
+
+TEST_F(AuditorUnitTest, SkippedTransfersAreCountedSeparately)
+{
+    auditor_.onTransferSkipped(block_, fullMask(),
+                               Direction::kDeviceToHost,
+                               TransferCause::kEviction);
+    EXPECT_EQ(auditor_.skippedD2h(), kBigPageSize);
+    EXPECT_EQ(auditor_.totalTransferred(), 0u);
+}
+
+TEST_F(AuditorUnitTest, PartialMasksCountPartialBytes)
+{
+    PageMask half;
+    for (int i = 0; i < 256; ++i)
+        half.set(i);
+    auditor_.onTransfer(block_, half, Direction::kHostToDevice,
+                        TransferCause::kPrefetch);
+    auditor_.onAccess(block_, fullMask(), true, false,
+                      ProcessorId::gpu(0));
+    EXPECT_EQ(auditor_.requiredH2d(), kBigPageSize / 2);
+}
+
+// ---- End-to-end: auditor attached to a real driver ----
+
+class AuditorDriverTest : public ::testing::Test
+{
+  protected:
+    AuditorDriverTest()
+        : drv_(test::tinyConfig(/*chunks=*/2), test::testLink())
+    {
+        drv_.setObserver(&auditor_);
+    }
+
+    uvm::UvmDriver drv_;
+    Auditor auditor_;
+    sim::SimTime t_ = 0;
+};
+
+TEST_F(AuditorDriverTest, Figure2PatternIsClassifiedRedundant)
+{
+    // A temporary GPU buffer: written, used, then dead — but the
+    // driver swaps it out and back under pressure.
+    mem::VirtAddr tmp = drv_.allocManaged(2 * kBigPageSize, "tmp");
+    mem::VirtAddr other = drv_.allocManaged(2 * kBigPageSize, "other");
+
+    // Step 1-2: GPU writes then reads tmp (zero-fill, no transfer).
+    t_ = drv_.gpuAccess(
+        0, {{tmp, 2 * kBigPageSize, AccessKind::kWrite}}, t_);
+    t_ = drv_.gpuAccess(
+        0, {{tmp, 2 * kBigPageSize, AccessKind::kRead}}, t_);
+
+    // Step 3: pressure evicts tmp (D2H of dead data).
+    t_ = drv_.prefetch(other, 2 * kBigPageSize, ProcessorId::gpu(0),
+                       t_);
+    // Step 4-5: tmp is faulted back (H2D of dead data) and only then
+    // overwritten.
+    t_ = drv_.gpuAccess(
+        0, {{tmp, 2 * kBigPageSize, AccessKind::kWrite}}, t_);
+
+    EXPECT_EQ(auditor_.redundantD2h(), 2 * kBigPageSize);
+    EXPECT_EQ(auditor_.redundantH2d(), 2 * kBigPageSize);
+    EXPECT_EQ(auditor_.requiredTotal(), 0u);
+}
+
+TEST_F(AuditorDriverTest, UsefulDataRoundTripIsRequired)
+{
+    mem::VirtAddr a = drv_.allocManaged(2 * kBigPageSize, "a");
+    mem::VirtAddr other = drv_.allocManaged(2 * kBigPageSize, "other");
+
+    t_ = drv_.hostAccess(a, 2 * kBigPageSize, AccessKind::kWrite, t_);
+    t_ = drv_.prefetch(a, 2 * kBigPageSize, ProcessorId::gpu(0), t_);
+    t_ = drv_.gpuAccess(0, {{a, 2 * kBigPageSize, AccessKind::kRead}},
+                        t_);
+    // Eviction of a — then the host reads the values again.
+    t_ = drv_.prefetch(other, 2 * kBigPageSize, ProcessorId::gpu(0),
+                       t_);
+    t_ = drv_.hostAccess(a, 2 * kBigPageSize, AccessKind::kRead, t_);
+
+    auditor_.finalize();
+    EXPECT_EQ(auditor_.redundantTotal(), 0u);
+    // Two 2-block transfers: the prefetch up and the eviction back.
+    EXPECT_EQ(auditor_.requiredTotal(), 2 * 2 * kBigPageSize);
+}
+
+TEST_F(AuditorDriverTest, AuditedBytesMatchLinkTraffic)
+{
+    mem::VirtAddr a = drv_.allocManaged(2 * kBigPageSize, "a");
+    mem::VirtAddr b = drv_.allocManaged(2 * kBigPageSize, "b");
+    t_ = drv_.hostAccess(a, 2 * kBigPageSize, AccessKind::kWrite, t_);
+    t_ = drv_.prefetch(a, 2 * kBigPageSize, ProcessorId::gpu(0), t_);
+    t_ = drv_.gpuAccess(0, {{b, 2 * kBigPageSize, AccessKind::kWrite}},
+                        t_);
+    t_ = drv_.hostAccess(b, kBigPageSize, AccessKind::kRead, t_);
+    auditor_.finalize();
+    EXPECT_EQ(auditor_.totalTransferred(),
+              drv_.totalTrafficBytes());
+}
+
+}  // namespace
+}  // namespace uvmd::trace

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: alignment helpers, the chunk
+ * allocator (capacity, reservation, exhaustion), the intrusive page
+ * queues, the backing store's copy-slot semantics, and the zero
+ * engine cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hpp"
+#include "mem/chunk_allocator.hpp"
+#include "mem/page.hpp"
+#include "mem/page_queues.hpp"
+#include "mem/zero_engine.hpp"
+#include "sim/logging.hpp"
+
+namespace uvmd::mem {
+namespace {
+
+TEST(Page, AlignmentHelpers)
+{
+    EXPECT_EQ(alignDown(kBigPageSize + 5, kBigPageSize), kBigPageSize);
+    EXPECT_EQ(alignUp(kBigPageSize + 5, kBigPageSize),
+              2 * kBigPageSize);
+    EXPECT_EQ(alignUp(kBigPageSize, kBigPageSize), kBigPageSize);
+    EXPECT_TRUE(isAligned(4 * kBigPageSize, kBigPageSize));
+    EXPECT_FALSE(isAligned(kSmallPageSize, kBigPageSize));
+    EXPECT_EQ(kPagesPerBlock, 512u);
+}
+
+TEST(Page, PageIndexing)
+{
+    VirtAddr base = 10 * kBigPageSize;
+    EXPECT_EQ(pageIndexInBlock(base), 0u);
+    EXPECT_EQ(pageIndexInBlock(base + kSmallPageSize), 1u);
+    EXPECT_EQ(pageIndexInBlock(base + kBigPageSize - 1), 511u);
+    EXPECT_EQ(smallPageNumber(kSmallPageSize * 7 + 100), 7u);
+}
+
+TEST(ChunkAllocator, CapacityRoundsDownToChunks)
+{
+    ChunkAllocator a(5 * kBigPageSize + kSmallPageSize);
+    EXPECT_EQ(a.totalChunks(), 5u);
+    EXPECT_EQ(a.freeChunks(), 5u);
+}
+
+TEST(ChunkAllocator, AllocateUntilExhausted)
+{
+    ChunkAllocator a(3 * kBigPageSize);
+    EXPECT_TRUE(a.tryAllocChunk());
+    EXPECT_TRUE(a.tryAllocChunk());
+    EXPECT_TRUE(a.tryAllocChunk());
+    EXPECT_FALSE(a.tryAllocChunk());
+    a.freeChunk();
+    EXPECT_TRUE(a.tryAllocChunk());
+    EXPECT_EQ(a.allocatedChunks(), 3u);
+}
+
+TEST(ChunkAllocator, ReservationShrinksUsable)
+{
+    ChunkAllocator a(10 * kBigPageSize);
+    a.reserve(4 * kBigPageSize + 1);  // rounds up to 5 chunks
+    EXPECT_EQ(a.reservedChunks(), 5u);
+    EXPECT_EQ(a.freeChunks(), 5u);
+    EXPECT_EQ(a.usableBytes(), 5 * kBigPageSize);
+    a.unreserve(4 * kBigPageSize + 1);
+    EXPECT_EQ(a.freeChunks(), 10u);
+}
+
+TEST(ChunkAllocator, OverReservationIsFatal)
+{
+    ChunkAllocator a(2 * kBigPageSize);
+    EXPECT_THROW(a.reserve(3 * kBigPageSize), sim::FatalError);
+}
+
+TEST(ChunkAllocator, TinyCapacityIsFatal)
+{
+    EXPECT_THROW(ChunkAllocator{kSmallPageSize}, sim::FatalError);
+}
+
+// A minimal queueable element for list tests.
+struct Elem {
+    int id;
+    QueueLink<Elem> link;
+};
+
+using List = IntrusiveList<Elem, &Elem::link>;
+using Queues = GpuPageQueues<Elem, &Elem::link>;
+
+TEST(IntrusiveList, FifoOrder)
+{
+    List list(QueueKind::kUnused);
+    Elem a{1, {}}, b{2, {}}, c{3, {}};
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    EXPECT_EQ(list.size(), 3u);
+    EXPECT_EQ(list.popFront()->id, 1);
+    EXPECT_EQ(list.popFront()->id, 2);
+    EXPECT_EQ(list.popFront()->id, 3);
+    EXPECT_EQ(list.popFront(), nullptr);
+}
+
+TEST(IntrusiveList, RemoveFromMiddle)
+{
+    List list(QueueKind::kUsed);
+    Elem a{1, {}}, b{2, {}}, c{3, {}};
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    list.remove(&b);
+    EXPECT_EQ(list.size(), 2u);
+    EXPECT_EQ(b.link.on, QueueKind::kNone);
+    EXPECT_EQ(list.popFront()->id, 1);
+    EXPECT_EQ(list.popFront()->id, 3);
+}
+
+TEST(IntrusiveList, MoveToBackImplementsLruTouch)
+{
+    List list(QueueKind::kUsed);
+    Elem a{1, {}}, b{2, {}}, c{3, {}};
+    list.pushBack(&a);
+    list.pushBack(&b);
+    list.pushBack(&c);
+    list.moveToBack(&a);  // a becomes MRU
+    EXPECT_EQ(list.popFront()->id, 2);
+    EXPECT_EQ(list.popFront()->id, 3);
+    EXPECT_EQ(list.popFront()->id, 1);
+}
+
+TEST(GpuPageQueues, PlaceOnMovesBetweenQueues)
+{
+    Queues q;
+    Elem a{1, {}};
+    q.placeOn(&a, QueueKind::kUsed);
+    EXPECT_EQ(q.membership(&a), QueueKind::kUsed);
+    q.placeOn(&a, QueueKind::kDiscarded);
+    EXPECT_EQ(q.membership(&a), QueueKind::kDiscarded);
+    EXPECT_EQ(q.usedQueue().size(), 0u);
+    EXPECT_EQ(q.discardedQueue().size(), 1u);
+    q.placeOn(&a, QueueKind::kNone);
+    EXPECT_EQ(q.membership(&a), QueueKind::kNone);
+}
+
+TEST(BackingStore, DisabledStoreReadsZeros)
+{
+    BackingStore bs(false);
+    std::uint32_t v = 0xdeadbeef;
+    bs.write(0x1000, &v, sizeof(v), CopySlot::kHost);
+    std::uint32_t out = 1;
+    bs.read(0x1000, &out, sizeof(out), CopySlot::kHost);
+    EXPECT_EQ(out, 0u);
+    EXPECT_EQ(bs.materializedPages(), 0u);
+}
+
+TEST(BackingStore, SlotsAreIndependent)
+{
+    BackingStore bs(true);
+    std::uint32_t h = 11, d = 22;
+    bs.write(0x4000, &h, sizeof(h), CopySlot::kHost);
+    bs.write(0x4000, &d, sizeof(d), CopySlot::kDevice);
+    EXPECT_EQ(h, 11u);
+    std::uint32_t out = 0;
+    bs.read(0x4000, &out, sizeof(out), CopySlot::kHost);
+    EXPECT_EQ(out, 11u);
+    bs.read(0x4000, &out, sizeof(out), CopySlot::kDevice);
+    EXPECT_EQ(out, 22u);
+}
+
+TEST(BackingStore, CopyAndDrop)
+{
+    BackingStore bs(true);
+    std::uint64_t v = 77;
+    bs.write(0x8000, &v, sizeof(v), CopySlot::kHost);
+    bs.copyPage(0x8000, CopySlot::kHost, CopySlot::kDevice);
+    std::uint64_t out = 0;
+    bs.read(0x8000, &out, sizeof(out), CopySlot::kDevice);
+    EXPECT_EQ(out, 77u);
+    bs.dropPage(0x8000, CopySlot::kHost);
+    EXPECT_FALSE(bs.hasPage(0x8000, CopySlot::kHost));
+    EXPECT_TRUE(bs.hasPage(0x8000, CopySlot::kDevice));
+    bs.read(0x8000, &out, sizeof(out), CopySlot::kHost);
+    EXPECT_EQ(out, 0u);  // absent slot reads zeros
+}
+
+TEST(BackingStore, CopyFromAbsentSourceZeroes)
+{
+    BackingStore bs(true);
+    std::uint64_t v = 5;
+    bs.write(0x2000, &v, sizeof(v), CopySlot::kDevice);
+    bs.copyPage(0x2000, CopySlot::kHost, CopySlot::kDevice);
+    std::uint64_t out = 99;
+    bs.read(0x2000, &out, sizeof(out), CopySlot::kDevice);
+    EXPECT_EQ(out, 0u);
+}
+
+TEST(BackingStore, ZeroPage)
+{
+    BackingStore bs(true);
+    std::uint64_t v = 123;
+    bs.write(0x3000, &v, sizeof(v), CopySlot::kHost);
+    bs.zeroPage(0x3000, CopySlot::kHost);
+    std::uint64_t out = 1;
+    bs.read(0x3000, &out, sizeof(out), CopySlot::kHost);
+    EXPECT_EQ(out, 0u);
+}
+
+TEST(ZeroEngine, CostScalesWithSize)
+{
+    ZeroEngine z(400.0, sim::microseconds(1));
+    sim::SimDuration small = z.zeroCost(4 * sim::kKiB);
+    sim::SimDuration big = z.zeroCost(2 * sim::kMiB);
+    EXPECT_GT(big, small);
+    // 2 MiB at 400 GB/s is ~5.2 us plus 1 us setup.
+    EXPECT_NEAR(sim::toMicroseconds(big), 6.2, 0.3);
+    EXPECT_EQ(z.stats().get("zero_ops"), 2u);
+    EXPECT_EQ(z.stats().get("zero_bytes"),
+              4 * sim::kKiB + 2 * sim::kMiB);
+}
+
+}  // namespace
+}  // namespace uvmd::mem

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the scenario DSL: parsing (sizes, durations, errors with
+ * line numbers), configuration directives, and end-to-end semantics
+ * of scripted runs (the Figure-2 pattern with and without discard).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hpp"
+#include "workloads/scenario.hpp"
+
+namespace uvmd::workloads {
+namespace {
+
+TEST(Scenario, MinimalScriptRuns)
+{
+    ScenarioResult r = runScenario(R"(
+        alloc a 4MiB
+        host_write a
+        prefetch a gpu
+        sync
+    )");
+    EXPECT_EQ(r.traffic_h2d, 4 * sim::kMiB);
+    EXPECT_EQ(r.traffic_d2h, 0u);
+    EXPECT_GT(r.elapsed, 0);
+}
+
+TEST(Scenario, CommentsAndBlanksIgnored)
+{
+    ScenarioResult r = runScenario(R"(
+        # a comment line
+        alloc a 2MiB   # trailing comment
+
+        host_write a
+    )");
+    EXPECT_EQ(r.traffic_h2d, 0u);
+}
+
+TEST(Scenario, SizeUnits)
+{
+    // 2 MB (decimal) rounds into one managed range; traffic equals
+    // whole 4 KiB pages of the populated span.
+    ScenarioResult r = runScenario(R"(
+        alloc a 2MB
+        host_write a
+        prefetch a gpu
+    )");
+    EXPECT_EQ(r.traffic_h2d, mem::alignUp(2'000'000, 4096));
+}
+
+TEST(Scenario, Figure2PatternShowsRedundantTransfers)
+{
+    ScenarioResult r = runScenario(R"(
+        gpu_memory 16MiB
+        alloc temp 8MiB
+        alloc other 16MiB
+        kernel writer write temp compute 100us
+        kernel reader read temp compute 100us
+        prefetch other gpu
+        kernel phase rw other compute 200us
+        kernel overwriter write temp compute 100us
+    )");
+    // temp's dead 8 MiB went out and came back: 16 MiB redundant at
+    // least.
+    EXPECT_GE(r.redundant, 16 * sim::kMiB);
+    EXPECT_EQ(r.skipped_by_discard, 0u);
+    EXPECT_NE(r.advisor_report.find("temp"), std::string::npos);
+}
+
+TEST(Scenario, DiscardVariantSkipsThem)
+{
+    ScenarioResult r = runScenario(R"(
+        gpu_memory 16MiB
+        alloc temp 8MiB
+        alloc other 16MiB
+        kernel writer write temp compute 100us
+        kernel reader read temp compute 100us
+        discard temp eager
+        prefetch other gpu
+        kernel phase rw other compute 200us
+        prefetch temp gpu
+        kernel overwriter write temp compute 100us
+    )");
+    EXPECT_GE(r.skipped_by_discard, 8 * sim::kMiB);
+    EXPECT_GT(r.evictions_discarded, 0u);
+    EXPECT_EQ(r.advisor_report.find("'temp'"), std::string::npos);
+}
+
+TEST(Scenario, OccupyCreatesPressure)
+{
+    ScenarioResult with = runScenario(R"(
+        gpu_memory 32MiB
+        occupy 24MiB
+        alloc a 16MiB
+        host_write a
+        prefetch a gpu
+        alloc b 8MiB
+        prefetch b gpu
+    )");
+    EXPECT_GT(with.evictions_used, 0u);
+}
+
+TEST(Scenario, AdviseRemote)
+{
+    ScenarioResult r = runScenario(R"(
+        alloc a 4MiB
+        host_write a
+        advise a prefer_cpu
+        kernel k read a compute 10us
+        kernel k read a compute 10us
+    )");
+    // Two remote reads: traffic is 2x the buffer, no eviction churn.
+    EXPECT_EQ(r.traffic_h2d, 8 * sim::kMiB);
+    EXPECT_EQ(r.evictions_used, 0u);
+}
+
+TEST(Scenario, PolicyAndLinkDirectivesParse)
+{
+    ScenarioResult pcie3 = runScenario(R"(
+        link pcie3
+        policy fifo
+        alloc a 16MiB
+        host_write a
+        prefetch a gpu
+    )");
+    ScenarioResult nvlink = runScenario(R"(
+        link nvlink
+        alloc a 16MiB
+        host_write a
+        prefetch a gpu
+    )");
+    EXPECT_GT(pcie3.elapsed, nvlink.elapsed);
+}
+
+TEST(Scenario, FreeReleasesBuffer)
+{
+    ScenarioResult r = runScenario(R"(
+        alloc a 4MiB
+        host_write a
+        free a
+    )");
+    EXPECT_GE(r.redundant, 0u);
+}
+
+// ---- Error handling ----
+
+TEST(Scenario, UnknownCommandIsFatalWithLineNumber)
+{
+    try {
+        runScenario("alloc a 4MiB\nfrobnicate a\n");
+        FAIL() << "expected FatalError";
+    } catch (const sim::FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Scenario, UnknownBufferIsFatal)
+{
+    EXPECT_THROW(runScenario("prefetch ghost gpu\n"), sim::FatalError);
+}
+
+TEST(Scenario, BadSizeUnitIsFatal)
+{
+    EXPECT_THROW(runScenario("alloc a 4parsecs\n"), sim::FatalError);
+}
+
+TEST(Scenario, DuplicateAllocIsFatal)
+{
+    EXPECT_THROW(runScenario("alloc a 4MiB\nalloc a 4MiB\n"),
+                 sim::FatalError);
+}
+
+TEST(Scenario, LateConfigDirectiveIsFatal)
+{
+    EXPECT_THROW(runScenario("alloc a 4MiB\ngpu_memory 1GiB\n"),
+                 sim::FatalError);
+}
+
+TEST(Scenario, MissingArgumentIsFatal)
+{
+    EXPECT_THROW(runScenario("alloc a\n"), sim::FatalError);
+}
+
+TEST(Scenario, MissingFileIsFatal)
+{
+    EXPECT_THROW(runScenarioFile("/nonexistent/path.uvm"),
+                 sim::FatalError);
+}
+
+TEST(Scenario, SummaryMentionsKeyStats)
+{
+    ScenarioResult r = runScenario(R"(
+        alloc a 4MiB
+        host_write a
+        prefetch a gpu
+    )");
+    std::string s = r.summary();
+    EXPECT_NE(s.find("traffic h2d"), std::string::npos);
+    EXPECT_NE(s.find("redundant"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace uvmd::workloads

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: event queue ordering and
+ * cancellation, timeline resources, statistics, PRNG determinism,
+ * and time/byte formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/logging.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace uvmd::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(30, [&] { order.push_back(3); });
+    eq.scheduleAt(10, [&] { order.push_back(1); });
+    eq.scheduleAt(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, TiesRunInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.scheduleAt(7, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue eq;
+    SimTime inner_fired = -1;
+    eq.scheduleAt(100, [&] {
+        eq.scheduleAfter(50, [&] { inner_fired = eq.now(); });
+    });
+    eq.runAll();
+    EXPECT_EQ(inner_fired, 150);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.scheduleAt(10, [&] { ran = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));  // already cancelled
+    eq.runAll();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(eq.pending(), 0u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.scheduleAt(10, [&] { ++count; });
+    eq.scheduleAt(20, [&] { ++count; });
+    eq.scheduleAt(30, [&] { ++count; });
+    eq.runUntil(25);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.now(), 25);
+    eq.runAll();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithNoEvents)
+{
+    EventQueue eq;
+    eq.runUntil(42);
+    EXPECT_EQ(eq.now(), 42);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.scheduleAfter(10, chain);
+    };
+    eq.scheduleAt(0, chain);
+    eq.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40);
+}
+
+TEST(Resource, ReservesSequentially)
+{
+    Resource r("engine");
+    EXPECT_EQ(r.reserve(0, 100), 100);
+    EXPECT_EQ(r.reserve(0, 50), 150);   // queued behind first span
+    EXPECT_EQ(r.reserve(200, 10), 210); // idle gap honoured
+    EXPECT_EQ(r.busyTime(), 160);
+}
+
+TEST(Resource, ResetClearsTimeline)
+{
+    Resource r("engine");
+    r.reserve(0, 100);
+    r.reset();
+    EXPECT_EQ(r.freeAt(), 0);
+    EXPECT_EQ(r.busyTime(), 0);
+    EXPECT_EQ(r.reserve(5, 10), 15);
+}
+
+TEST(Stats, CountersAccumulateAndReset)
+{
+    StatGroup g;
+    g.counter("a").inc();
+    g.counter("a").inc(4);
+    g.counter("b").inc(7);
+    EXPECT_EQ(g.get("a"), 5u);
+    EXPECT_EQ(g.get("b"), 7u);
+    EXPECT_EQ(g.get("missing"), 0u);
+    EXPECT_FALSE(g.has("missing"));
+    g.reset();
+    EXPECT_EQ(g.get("a"), 0u);
+}
+
+TEST(Stats, DistributionTracksMoments)
+{
+    StatGroup g;
+    auto &d = g.dist("lat");
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(2.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 3.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123), c(124);
+    bool all_equal = true;
+    bool any_differ_from_c = false;
+    for (int i = 0; i < 100; ++i) {
+        auto va = a.next();
+        if (va != b.next())
+            all_equal = false;
+        if (va != c.next())
+            any_differ_from_c = true;
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_differ_from_c);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformIsInUnitInterval)
+{
+    Rng r(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Time, UnitConversions)
+{
+    EXPECT_EQ(microseconds(1), 1000);
+    EXPECT_EQ(milliseconds(1), 1'000'000);
+    EXPECT_EQ(seconds(1), 1'000'000'000);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(2.5)), 2.5);
+}
+
+TEST(Time, TransferTimeMatchesBandwidth)
+{
+    // 25 GB/s: 25e9 bytes take one second.
+    EXPECT_EQ(transferTime(25'000'000'000ULL, 25.0), seconds(1));
+    EXPECT_EQ(transferTime(0, 25.0), 0);
+}
+
+TEST(Time, Formatting)
+{
+    EXPECT_EQ(formatDuration(500), "500 ns");
+    EXPECT_EQ(formatDuration(microseconds(42)), "42.00 us");
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(3 * kGiB), "3072.0 MiB");
+    EXPECT_EQ(formatBytes(64 * kGiB), "64.00 GiB");
+}
+
+TEST(Logging, FatalThrowsAndPanicDoesNot)
+{
+    EXPECT_THROW(fatal("user error"), FatalError);
+    resetWarnCount();
+    setLogLevel(LogLevel::kQuiet);
+    warn("quiet warning");
+    EXPECT_EQ(warnCount(), 1u);
+    setLogLevel(LogLevel::kNormal);
+}
+
+}  // namespace
+}  // namespace uvmd::sim

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for the uvmd test suite.
+ */
+
+#ifndef UVMD_TESTS_TEST_UTIL_HPP
+#define UVMD_TESTS_TEST_UTIL_HPP
+
+#include "interconnect/link.hpp"
+#include "uvm/config.hpp"
+
+namespace uvmd::test {
+
+/**
+ * A tiny, fully-backed driver configuration: @p chunks 2 MB chunks of
+ * GPU memory, real page payloads, quiet lazy-contract warnings left
+ * on so tests can assert on warn counts.
+ */
+inline uvm::UvmConfig
+tinyConfig(std::uint64_t chunks = 8)
+{
+    uvm::UvmConfig cfg;
+    cfg.gpu_memory = chunks * 2 * sim::kMiB;
+    cfg.backed = true;
+    return cfg;
+}
+
+inline interconnect::LinkSpec
+testLink()
+{
+    return interconnect::LinkSpec::pcie4();
+}
+
+}  // namespace uvmd::test
+
+#endif  // UVMD_TESTS_TEST_UTIL_HPP

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the unified address space: range creation, block
+ * decomposition, masks for sub-ranges, lookup, and teardown.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hpp"
+#include "uvm/va_space.hpp"
+
+namespace uvmd::uvm {
+namespace {
+
+TEST(PageMask, MakeMask)
+{
+    PageMask m = makeMask(0, 0);
+    EXPECT_EQ(m.count(), 1u);
+    EXPECT_TRUE(m.test(0));
+    m = makeMask(10, 20);
+    EXPECT_EQ(m.count(), 11u);
+    EXPECT_TRUE(m.test(10));
+    EXPECT_TRUE(m.test(20));
+    EXPECT_FALSE(m.test(21));
+    EXPECT_EQ(makeMask(0, 511).count(), 512u);
+}
+
+TEST(PageMask, MaskForRange)
+{
+    mem::VirtAddr base = 4 * mem::kBigPageSize;
+    // A full-block span.
+    EXPECT_EQ(maskForRange(base, base, mem::kBigPageSize).count(),
+              512u);
+    // One byte in the middle touches exactly one page.
+    PageMask one = maskForRange(base, base + 5 * mem::kSmallPageSize + 7,
+                                1);
+    EXPECT_EQ(one.count(), 1u);
+    EXPECT_TRUE(one.test(5));
+    // A span starting before the block clips to the block.
+    PageMask clipped = maskForRange(base, base - mem::kBigPageSize,
+                                    2 * mem::kBigPageSize);
+    EXPECT_EQ(clipped.count(), 512u);
+    // Disjoint span yields nothing.
+    EXPECT_TRUE(maskForRange(base, base + mem::kBigPageSize, 64)
+                    .none());
+}
+
+TEST(VaSpace, CreatesAlignedRanges)
+{
+    VaSpace vs;
+    mem::VirtAddr a = vs.createRange(3 * sim::kMiB, "a");
+    mem::VirtAddr b = vs.createRange(1, "b");
+    EXPECT_TRUE(mem::isAligned(a, mem::kBigPageSize));
+    EXPECT_TRUE(mem::isAligned(b, mem::kBigPageSize));
+    EXPECT_NE(a, b);
+    // 3 MiB spans two blocks.
+    EXPECT_EQ(vs.blockCount(), 3u);
+}
+
+TEST(VaSpace, GuardGapBetweenRanges)
+{
+    VaSpace vs;
+    mem::VirtAddr a = vs.createRange(2 * sim::kMiB, "a");
+    mem::VirtAddr b = vs.createRange(2 * sim::kMiB, "b");
+    // At least one unmanaged guard block separates allocations.
+    EXPECT_GE(b - a, 2 * mem::kBigPageSize);
+    // The block right after range a is the guard: unmanaged.
+    EXPECT_EQ(vs.blockOf(a + mem::kBigPageSize), nullptr);
+}
+
+TEST(VaSpace, BlockLookup)
+{
+    VaSpace vs;
+    mem::VirtAddr a = vs.createRange(5 * sim::kMiB, "a");
+    VaBlock *b0 = vs.blockOf(a);
+    VaBlock *b1 = vs.blockOf(a + mem::kBigPageSize + 17);
+    ASSERT_NE(b0, nullptr);
+    ASSERT_NE(b1, nullptr);
+    EXPECT_NE(b0, b1);
+    EXPECT_EQ(b0->base, a);
+    EXPECT_EQ(b1->base, a + mem::kBigPageSize);
+    EXPECT_EQ(vs.blockOf(0x1234), nullptr);
+}
+
+TEST(VaSpace, ValidMaskOfTailBlock)
+{
+    VaSpace vs;
+    // 5 MiB == 2.5 blocks: the tail block is half valid.
+    mem::VirtAddr a = vs.createRange(5 * sim::kMiB, "a");
+    VaBlock *tail = vs.blockOf(a + 2 * mem::kBigPageSize);
+    ASSERT_NE(tail, nullptr);
+    EXPECT_EQ(tail->valid.count(), 256u);
+    VaBlock *head = vs.blockOf(a);
+    EXPECT_EQ(head->valid.count(), 512u);
+}
+
+TEST(VaSpace, ForEachBlockVisitsInOrder)
+{
+    VaSpace vs;
+    mem::VirtAddr a = vs.createRange(6 * sim::kMiB, "a");
+    std::vector<mem::VirtAddr> seen;
+    std::vector<std::size_t> counts;
+    vs.forEachBlock(a + sim::kMiB, 4 * sim::kMiB,
+                    [&](VaBlock &b, const PageMask &m) {
+                        seen.push_back(b.base);
+                        counts.push_back(m.count());
+                    });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], a);
+    EXPECT_EQ(seen[1], a + mem::kBigPageSize);
+    EXPECT_EQ(seen[2], a + 2 * mem::kBigPageSize);
+    EXPECT_EQ(counts[0], 256u);  // second half of block 0
+    EXPECT_EQ(counts[1], 512u);  // all of block 1
+    EXPECT_EQ(counts[2], 256u);  // first half of block 2
+}
+
+TEST(VaSpace, ForEachBlockRejectsUnmanaged)
+{
+    VaSpace vs;
+    vs.createRange(2 * sim::kMiB, "a");
+    EXPECT_THROW(vs.forEachBlock(0x1000, 64, [](VaBlock &,
+                                                const PageMask &) {}),
+                 sim::FatalError);
+}
+
+TEST(VaSpace, DestroyRangeRemovesBlocks)
+{
+    VaSpace vs;
+    mem::VirtAddr a = vs.createRange(4 * sim::kMiB, "a");
+    EXPECT_EQ(vs.blockCount(), 2u);
+    vs.destroyRange(a);
+    EXPECT_EQ(vs.blockCount(), 0u);
+    EXPECT_EQ(vs.blockOf(a), nullptr);
+    EXPECT_THROW(vs.destroyRange(a), sim::FatalError);
+}
+
+TEST(VaSpace, RangeOf)
+{
+    VaSpace vs;
+    mem::VirtAddr a = vs.createRange(4 * sim::kMiB, "mybuf");
+    VaRange *r = vs.rangeOf(a + 3 * sim::kMiB);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->name, "mybuf");
+    EXPECT_EQ(r->base, a);
+    EXPECT_EQ(r->size, 4 * sim::kMiB);
+}
+
+TEST(VaSpace, ZeroSizeIsFatal)
+{
+    VaSpace vs;
+    EXPECT_THROW(vs.createRange(0, "zero"), sim::FatalError);
+}
+
+}  // namespace
+}  // namespace uvmd::uvm
