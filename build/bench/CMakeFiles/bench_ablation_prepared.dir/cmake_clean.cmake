@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prepared.dir/bench_ablation_prepared.cpp.o"
+  "CMakeFiles/bench_ablation_prepared.dir/bench_ablation_prepared.cpp.o.d"
+  "bench_ablation_prepared"
+  "bench_ablation_prepared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prepared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_remote_access.dir/bench_ablation_remote_access.cpp.o"
+  "CMakeFiles/bench_ablation_remote_access.dir/bench_ablation_remote_access.cpp.o.d"
+  "bench_ablation_remote_access"
+  "bench_ablation_remote_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_remote_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

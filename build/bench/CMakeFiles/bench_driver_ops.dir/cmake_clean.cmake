@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_driver_ops.dir/bench_driver_ops.cpp.o"
+  "CMakeFiles/bench_driver_ops.dir/bench_driver_ops.cpp.o.d"
+  "bench_driver_ops"
+  "bench_driver_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_driver_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

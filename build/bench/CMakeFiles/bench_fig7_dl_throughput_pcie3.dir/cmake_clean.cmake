@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dl_throughput_pcie3.dir/bench_fig7_dl_throughput_pcie3.cpp.o"
+  "CMakeFiles/bench_fig7_dl_throughput_pcie3.dir/bench_fig7_dl_throughput_pcie3.cpp.o.d"
+  "bench_fig7_dl_throughput_pcie3"
+  "bench_fig7_dl_throughput_pcie3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dl_throughput_pcie3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_dl_throughput_pcie3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fir_tables3_4.dir/bench_fir_tables3_4.cpp.o"
+  "CMakeFiles/bench_fir_tables3_4.dir/bench_fir_tables3_4.cpp.o.d"
+  "bench_fir_tables3_4"
+  "bench_fir_tables3_4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fir_tables3_4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fir_tables3_4.
+# This may be replaced when dependencies are built.

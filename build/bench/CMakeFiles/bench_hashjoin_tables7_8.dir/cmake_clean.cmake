@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hashjoin_tables7_8.dir/bench_hashjoin_tables7_8.cpp.o"
+  "CMakeFiles/bench_hashjoin_tables7_8.dir/bench_hashjoin_tables7_8.cpp.o.d"
+  "bench_hashjoin_tables7_8"
+  "bench_hashjoin_tables7_8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hashjoin_tables7_8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

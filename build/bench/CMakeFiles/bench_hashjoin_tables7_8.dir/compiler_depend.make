@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_hashjoin_tables7_8.
+# This may be replaced when dependencies are built.

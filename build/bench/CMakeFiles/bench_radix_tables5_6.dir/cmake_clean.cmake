@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_radix_tables5_6.dir/bench_radix_tables5_6.cpp.o"
+  "CMakeFiles/bench_radix_tables5_6.dir/bench_radix_tables5_6.cpp.o.d"
+  "bench_radix_tables5_6"
+  "bench_radix_tables5_6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_radix_tables5_6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_radix_tables5_6.
+# This may be replaced when dependencies are built.

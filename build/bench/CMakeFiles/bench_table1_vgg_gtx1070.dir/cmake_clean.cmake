@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_vgg_gtx1070.dir/bench_table1_vgg_gtx1070.cpp.o"
+  "CMakeFiles/bench_table1_vgg_gtx1070.dir/bench_table1_vgg_gtx1070.cpp.o.d"
+  "bench_table1_vgg_gtx1070"
+  "bench_table1_vgg_gtx1070.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_vgg_gtx1070.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

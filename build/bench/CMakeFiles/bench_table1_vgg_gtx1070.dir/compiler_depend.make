@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table1_vgg_gtx1070.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_demo.dir/advisor_demo.cpp.o"
+  "CMakeFiles/advisor_demo.dir/advisor_demo.cpp.o.d"
+  "advisor_demo"
+  "advisor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

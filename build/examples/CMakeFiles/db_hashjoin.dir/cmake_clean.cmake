@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_hashjoin.dir/db_hashjoin.cpp.o"
+  "CMakeFiles/db_hashjoin.dir/db_hashjoin.cpp.o.d"
+  "db_hashjoin"
+  "db_hashjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_hashjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_training.dir/dl_training.cpp.o"
+  "CMakeFiles/dl_training.dir/dl_training.cpp.o.d"
+  "dl_training"
+  "dl_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lifetime_walkthrough.dir/lifetime_walkthrough.cpp.o"
+  "CMakeFiles/lifetime_walkthrough.dir/lifetime_walkthrough.cpp.o.d"
+  "lifetime_walkthrough"
+  "lifetime_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lifetime_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

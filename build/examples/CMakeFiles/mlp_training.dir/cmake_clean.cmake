@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlp_training.dir/mlp_training.cpp.o"
+  "CMakeFiles/mlp_training.dir/mlp_training.cpp.o.d"
+  "mlp_training"
+  "mlp_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlp_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cuda/api_cost.cpp" "src/cuda/CMakeFiles/uvmd_cuda.dir/api_cost.cpp.o" "gcc" "src/cuda/CMakeFiles/uvmd_cuda.dir/api_cost.cpp.o.d"
+  "/root/repo/src/cuda/runtime.cpp" "src/cuda/CMakeFiles/uvmd_cuda.dir/runtime.cpp.o" "gcc" "src/cuda/CMakeFiles/uvmd_cuda.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uvm/CMakeFiles/uvmd_uvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uvmd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/uvmd_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvmd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

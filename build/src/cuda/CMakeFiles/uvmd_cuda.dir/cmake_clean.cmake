@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmd_cuda.dir/api_cost.cpp.o"
+  "CMakeFiles/uvmd_cuda.dir/api_cost.cpp.o.d"
+  "CMakeFiles/uvmd_cuda.dir/runtime.cpp.o"
+  "CMakeFiles/uvmd_cuda.dir/runtime.cpp.o.d"
+  "libuvmd_cuda.a"
+  "libuvmd_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmd_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for uvmd_cuda.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmd_interconnect.dir/link.cpp.o"
+  "CMakeFiles/uvmd_interconnect.dir/link.cpp.o.d"
+  "libuvmd_interconnect.a"
+  "libuvmd_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmd_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cpp" "src/mem/CMakeFiles/uvmd_mem.dir/backing_store.cpp.o" "gcc" "src/mem/CMakeFiles/uvmd_mem.dir/backing_store.cpp.o.d"
+  "/root/repo/src/mem/chunk_allocator.cpp" "src/mem/CMakeFiles/uvmd_mem.dir/chunk_allocator.cpp.o" "gcc" "src/mem/CMakeFiles/uvmd_mem.dir/chunk_allocator.cpp.o.d"
+  "/root/repo/src/mem/page_queues.cpp" "src/mem/CMakeFiles/uvmd_mem.dir/page_queues.cpp.o" "gcc" "src/mem/CMakeFiles/uvmd_mem.dir/page_queues.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/uvmd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmd_mem.dir/backing_store.cpp.o"
+  "CMakeFiles/uvmd_mem.dir/backing_store.cpp.o.d"
+  "CMakeFiles/uvmd_mem.dir/chunk_allocator.cpp.o"
+  "CMakeFiles/uvmd_mem.dir/chunk_allocator.cpp.o.d"
+  "CMakeFiles/uvmd_mem.dir/page_queues.cpp.o"
+  "CMakeFiles/uvmd_mem.dir/page_queues.cpp.o.d"
+  "libuvmd_mem.a"
+  "libuvmd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuvmd_mem.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmd_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/uvmd_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/uvmd_sim.dir/logging.cpp.o"
+  "CMakeFiles/uvmd_sim.dir/logging.cpp.o.d"
+  "CMakeFiles/uvmd_sim.dir/stats.cpp.o"
+  "CMakeFiles/uvmd_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/uvmd_sim.dir/time.cpp.o"
+  "CMakeFiles/uvmd_sim.dir/time.cpp.o.d"
+  "libuvmd_sim.a"
+  "libuvmd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmd_trace.dir/advisor.cpp.o"
+  "CMakeFiles/uvmd_trace.dir/advisor.cpp.o.d"
+  "CMakeFiles/uvmd_trace.dir/auditor.cpp.o"
+  "CMakeFiles/uvmd_trace.dir/auditor.cpp.o.d"
+  "CMakeFiles/uvmd_trace.dir/report.cpp.o"
+  "CMakeFiles/uvmd_trace.dir/report.cpp.o.d"
+  "CMakeFiles/uvmd_trace.dir/transfer_log.cpp.o"
+  "CMakeFiles/uvmd_trace.dir/transfer_log.cpp.o.d"
+  "libuvmd_trace.a"
+  "libuvmd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

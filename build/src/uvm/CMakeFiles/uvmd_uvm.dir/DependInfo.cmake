@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uvm/access.cpp" "src/uvm/CMakeFiles/uvmd_uvm.dir/access.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmd_uvm.dir/access.cpp.o.d"
+  "/root/repo/src/uvm/advise.cpp" "src/uvm/CMakeFiles/uvmd_uvm.dir/advise.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmd_uvm.dir/advise.cpp.o.d"
+  "/root/repo/src/uvm/config.cpp" "src/uvm/CMakeFiles/uvmd_uvm.dir/config.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmd_uvm.dir/config.cpp.o.d"
+  "/root/repo/src/uvm/discard.cpp" "src/uvm/CMakeFiles/uvmd_uvm.dir/discard.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmd_uvm.dir/discard.cpp.o.d"
+  "/root/repo/src/uvm/driver.cpp" "src/uvm/CMakeFiles/uvmd_uvm.dir/driver.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmd_uvm.dir/driver.cpp.o.d"
+  "/root/repo/src/uvm/eviction.cpp" "src/uvm/CMakeFiles/uvmd_uvm.dir/eviction.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmd_uvm.dir/eviction.cpp.o.d"
+  "/root/repo/src/uvm/migration.cpp" "src/uvm/CMakeFiles/uvmd_uvm.dir/migration.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmd_uvm.dir/migration.cpp.o.d"
+  "/root/repo/src/uvm/page_table.cpp" "src/uvm/CMakeFiles/uvmd_uvm.dir/page_table.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmd_uvm.dir/page_table.cpp.o.d"
+  "/root/repo/src/uvm/prefetch.cpp" "src/uvm/CMakeFiles/uvmd_uvm.dir/prefetch.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmd_uvm.dir/prefetch.cpp.o.d"
+  "/root/repo/src/uvm/va_block.cpp" "src/uvm/CMakeFiles/uvmd_uvm.dir/va_block.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmd_uvm.dir/va_block.cpp.o.d"
+  "/root/repo/src/uvm/va_space.cpp" "src/uvm/CMakeFiles/uvmd_uvm.dir/va_space.cpp.o" "gcc" "src/uvm/CMakeFiles/uvmd_uvm.dir/va_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/uvmd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uvmd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/uvmd_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

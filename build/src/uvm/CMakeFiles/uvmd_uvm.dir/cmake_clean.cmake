@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmd_uvm.dir/access.cpp.o"
+  "CMakeFiles/uvmd_uvm.dir/access.cpp.o.d"
+  "CMakeFiles/uvmd_uvm.dir/advise.cpp.o"
+  "CMakeFiles/uvmd_uvm.dir/advise.cpp.o.d"
+  "CMakeFiles/uvmd_uvm.dir/config.cpp.o"
+  "CMakeFiles/uvmd_uvm.dir/config.cpp.o.d"
+  "CMakeFiles/uvmd_uvm.dir/discard.cpp.o"
+  "CMakeFiles/uvmd_uvm.dir/discard.cpp.o.d"
+  "CMakeFiles/uvmd_uvm.dir/driver.cpp.o"
+  "CMakeFiles/uvmd_uvm.dir/driver.cpp.o.d"
+  "CMakeFiles/uvmd_uvm.dir/eviction.cpp.o"
+  "CMakeFiles/uvmd_uvm.dir/eviction.cpp.o.d"
+  "CMakeFiles/uvmd_uvm.dir/migration.cpp.o"
+  "CMakeFiles/uvmd_uvm.dir/migration.cpp.o.d"
+  "CMakeFiles/uvmd_uvm.dir/page_table.cpp.o"
+  "CMakeFiles/uvmd_uvm.dir/page_table.cpp.o.d"
+  "CMakeFiles/uvmd_uvm.dir/prefetch.cpp.o"
+  "CMakeFiles/uvmd_uvm.dir/prefetch.cpp.o.d"
+  "CMakeFiles/uvmd_uvm.dir/va_block.cpp.o"
+  "CMakeFiles/uvmd_uvm.dir/va_block.cpp.o.d"
+  "CMakeFiles/uvmd_uvm.dir/va_space.cpp.o"
+  "CMakeFiles/uvmd_uvm.dir/va_space.cpp.o.d"
+  "libuvmd_uvm.a"
+  "libuvmd_uvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmd_uvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

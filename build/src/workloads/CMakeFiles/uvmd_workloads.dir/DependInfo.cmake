@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/common.cpp" "src/workloads/CMakeFiles/uvmd_workloads.dir/common.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmd_workloads.dir/common.cpp.o.d"
+  "/root/repo/src/workloads/dl/model_zoo.cpp" "src/workloads/CMakeFiles/uvmd_workloads.dir/dl/model_zoo.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmd_workloads.dir/dl/model_zoo.cpp.o.d"
+  "/root/repo/src/workloads/dl/trainer.cpp" "src/workloads/CMakeFiles/uvmd_workloads.dir/dl/trainer.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmd_workloads.dir/dl/trainer.cpp.o.d"
+  "/root/repo/src/workloads/fir.cpp" "src/workloads/CMakeFiles/uvmd_workloads.dir/fir.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmd_workloads.dir/fir.cpp.o.d"
+  "/root/repo/src/workloads/hash_join.cpp" "src/workloads/CMakeFiles/uvmd_workloads.dir/hash_join.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmd_workloads.dir/hash_join.cpp.o.d"
+  "/root/repo/src/workloads/radix_sort.cpp" "src/workloads/CMakeFiles/uvmd_workloads.dir/radix_sort.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmd_workloads.dir/radix_sort.cpp.o.d"
+  "/root/repo/src/workloads/scenario.cpp" "src/workloads/CMakeFiles/uvmd_workloads.dir/scenario.cpp.o" "gcc" "src/workloads/CMakeFiles/uvmd_workloads.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cuda/CMakeFiles/uvmd_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/uvmd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/uvm/CMakeFiles/uvmd_uvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uvmd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/uvmd_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvmd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uvmd_workloads.dir/common.cpp.o"
+  "CMakeFiles/uvmd_workloads.dir/common.cpp.o.d"
+  "CMakeFiles/uvmd_workloads.dir/dl/model_zoo.cpp.o"
+  "CMakeFiles/uvmd_workloads.dir/dl/model_zoo.cpp.o.d"
+  "CMakeFiles/uvmd_workloads.dir/dl/trainer.cpp.o"
+  "CMakeFiles/uvmd_workloads.dir/dl/trainer.cpp.o.d"
+  "CMakeFiles/uvmd_workloads.dir/fir.cpp.o"
+  "CMakeFiles/uvmd_workloads.dir/fir.cpp.o.d"
+  "CMakeFiles/uvmd_workloads.dir/hash_join.cpp.o"
+  "CMakeFiles/uvmd_workloads.dir/hash_join.cpp.o.d"
+  "CMakeFiles/uvmd_workloads.dir/radix_sort.cpp.o"
+  "CMakeFiles/uvmd_workloads.dir/radix_sort.cpp.o.d"
+  "CMakeFiles/uvmd_workloads.dir/scenario.cpp.o"
+  "CMakeFiles/uvmd_workloads.dir/scenario.cpp.o.d"
+  "libuvmd_workloads.a"
+  "libuvmd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uvmd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

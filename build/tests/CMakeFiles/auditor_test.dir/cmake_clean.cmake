@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auditor_test.dir/auditor_test.cpp.o"
+  "CMakeFiles/auditor_test.dir/auditor_test.cpp.o.d"
+  "auditor_test"
+  "auditor_test.pdb"
+  "auditor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auditor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

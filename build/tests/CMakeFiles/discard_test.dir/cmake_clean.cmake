@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discard_test.dir/discard_test.cpp.o"
+  "CMakeFiles/discard_test.dir/discard_test.cpp.o.d"
+  "discard_test"
+  "discard_test.pdb"
+  "discard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_basic_test.dir/driver_basic_test.cpp.o"
+  "CMakeFiles/driver_basic_test.dir/driver_basic_test.cpp.o.d"
+  "driver_basic_test"
+  "driver_basic_test.pdb"
+  "driver_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

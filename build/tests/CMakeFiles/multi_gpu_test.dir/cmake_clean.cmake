@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_gpu_test.dir/multi_gpu_test.cpp.o"
+  "CMakeFiles/multi_gpu_test.dir/multi_gpu_test.cpp.o.d"
+  "multi_gpu_test"
+  "multi_gpu_test.pdb"
+  "multi_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_access_test.dir/remote_access_test.cpp.o"
+  "CMakeFiles/remote_access_test.dir/remote_access_test.cpp.o.d"
+  "remote_access_test"
+  "remote_access_test.pdb"
+  "remote_access_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_access_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

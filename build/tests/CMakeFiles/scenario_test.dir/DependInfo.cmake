@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/scenario_test.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/scenario_test.dir/scenario_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/uvmd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cuda/CMakeFiles/uvmd_cuda.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/uvmd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/uvm/CMakeFiles/uvmd_uvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uvmd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/uvmd_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uvmd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

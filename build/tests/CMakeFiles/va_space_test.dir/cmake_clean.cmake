@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/va_space_test.dir/va_space_test.cpp.o"
+  "CMakeFiles/va_space_test.dir/va_space_test.cpp.o.d"
+  "va_space_test"
+  "va_space_test.pdb"
+  "va_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/va_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/interconnect_test[1]_include.cmake")
+include("/root/repo/build/tests/va_space_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/discard_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/auditor_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_gpu_test[1]_include.cmake")
+include("/root/repo/build/tests/remote_access_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
