@@ -235,11 +235,13 @@ Runtime::executeOp(StreamOp &op, sim::SimTime t0)
                                t0 + apiCost(ApiOp::kDiscardEntry,
                                             op.size));
       case StreamOp::Type::kMemcpyH2D:
-        return driver_.link(op.gpu).transfer(
-            t0, op.size, interconnect::Direction::kHostToDevice);
+        return driver_.transferEngine().rawTransfer(
+            op.gpu, op.size, interconnect::Direction::kHostToDevice,
+            t0);
       case StreamOp::Type::kMemcpyD2H:
-        return driver_.link(op.gpu).transfer(
-            t0, op.size, interconnect::Direction::kDeviceToHost);
+        return driver_.transferEngine().rawTransfer(
+            op.gpu, op.size, interconnect::Direction::kDeviceToHost,
+            t0);
       case StreamOp::Type::kEventRecord: {
         EventState &ev = events_[op.event];
         ev.recorded = true;

@@ -1,0 +1,101 @@
+#include "interconnect/dma_scheduler.hpp"
+
+#include "sim/logging.hpp"
+
+namespace uvmd::interconnect {
+
+DmaScheduler::DmaScheduler(const LinkSpec &spec, int engines_per_dir)
+    : spec_(spec), engines_per_dir_(engines_per_dir)
+{
+    if (engines_per_dir < 1)
+        sim::fatal("DmaScheduler: need at least one copy engine per "
+                   "direction");
+    h2d_engines_.reserve(engines_per_dir);
+    d2h_engines_.reserve(engines_per_dir);
+    for (int i = 0; i < engines_per_dir; ++i) {
+        h2d_engines_.emplace_back("dma_h2d." + std::to_string(i));
+        d2h_engines_.emplace_back("dma_d2h." + std::to_string(i));
+    }
+}
+
+std::vector<sim::Resource> &
+DmaScheduler::lane(Direction dir)
+{
+    return dir == Direction::kHostToDevice ? h2d_engines_
+                                           : d2h_engines_;
+}
+
+const std::vector<sim::Resource> &
+DmaScheduler::lane(Direction dir) const
+{
+    return dir == Direction::kHostToDevice ? h2d_engines_
+                                           : d2h_engines_;
+}
+
+std::uint32_t
+DmaScheduler::pickEngine(Direction dir) const
+{
+    const std::vector<sim::Resource> &engines = lane(dir);
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < engines.size(); ++i) {
+        if (engines[i].freeAt() < engines[best].freeAt())
+            best = i;
+    }
+    return best;
+}
+
+sim::SimTime
+DmaScheduler::issueOn(std::uint32_t engine, Direction dir,
+                      sim::SimTime earliest, sim::Bytes bytes,
+                      std::uint32_t new_descriptors)
+{
+    std::vector<sim::Resource> &engines = lane(dir);
+    if (engine >= engines.size())
+        sim::panic("DmaScheduler: bad engine index");
+    sim::SimDuration duration =
+        new_descriptors * spec_.setup +
+        sim::transferTime(bytes, spec_.peak_gbps);
+    if (dir == Direction::kHostToDevice)
+        h2d_descriptors_ += new_descriptors;
+    else
+        d2h_descriptors_ += new_descriptors;
+    return engines[engine].reserve(earliest, duration);
+}
+
+sim::Resource &
+DmaScheduler::engineAt(Direction dir, std::uint32_t index)
+{
+    std::vector<sim::Resource> &engines = lane(dir);
+    if (index >= engines.size())
+        sim::panic("DmaScheduler: bad engine index");
+    return engines[index];
+}
+
+const sim::Resource &
+DmaScheduler::engineAt(Direction dir, std::uint32_t index) const
+{
+    const std::vector<sim::Resource> &engines = lane(dir);
+    if (index >= engines.size())
+        sim::panic("DmaScheduler: bad engine index");
+    return engines[index];
+}
+
+std::uint64_t
+DmaScheduler::descriptors(Direction dir) const
+{
+    return dir == Direction::kHostToDevice ? h2d_descriptors_
+                                           : d2h_descriptors_;
+}
+
+void
+DmaScheduler::reset()
+{
+    for (sim::Resource &r : h2d_engines_)
+        r.reset();
+    for (sim::Resource &r : d2h_engines_)
+        r.reset();
+    h2d_descriptors_ = 0;
+    d2h_descriptors_ = 0;
+}
+
+}  // namespace uvmd::interconnect

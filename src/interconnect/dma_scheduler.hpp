@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Copy-engine scheduling for one interconnect link.
+ *
+ * A DmaScheduler owns the DMA engine timelines of a link: N copy
+ * engines per direction (real GPUs expose several, and H2D/D2H have
+ * always been independent).  Callers describe work as *descriptors* —
+ * contiguous spans that each pay the link's per-transfer setup — and
+ * the scheduler places the resulting busy span on the least-loaded
+ * engine of the requested direction, or extends a caller-chosen
+ * engine when a descriptor is being coalesced onto a previous one.
+ *
+ * The scheduler is mechanism only: it knows nothing about va_blocks,
+ * causes, or discard state.  uvm::TransferEngine sits above it and
+ * turns structured transfer requests into descriptor issues.
+ */
+
+#ifndef UVMD_INTERCONNECT_DMA_SCHEDULER_HPP
+#define UVMD_INTERCONNECT_DMA_SCHEDULER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "interconnect/link_spec.hpp"
+#include "sim/resource.hpp"
+#include "sim/stats.hpp"
+
+namespace uvmd::interconnect {
+
+class DmaScheduler
+{
+  public:
+    /**
+     * @param spec            the link whose engines are scheduled
+     * @param engines_per_dir copy engines per direction (>= 1)
+     */
+    DmaScheduler(const LinkSpec &spec, int engines_per_dir = 1);
+
+    const LinkSpec &spec() const { return spec_; }
+    int enginesPerDir() const { return engines_per_dir_; }
+
+    /** Engine of @p dir that can start new work earliest (ties go to
+     *  the lowest index, so one engine reproduces a single queue). */
+    std::uint32_t pickEngine(Direction dir) const;
+
+    /**
+     * Reserve engine time for @p bytes moved as @p new_descriptors
+     * contiguous spans on engine @p engine of @p dir:
+     *
+     *     duration = new_descriptors * setup + bytes / peak_bw
+     *
+     * @p new_descriptors may be 0 when the span coalesces onto a
+     * descriptor already issued on that engine (no setup cost).
+     * @return completion time.
+     */
+    sim::SimTime issueOn(std::uint32_t engine, Direction dir,
+                         sim::SimTime earliest, sim::Bytes bytes,
+                         std::uint32_t new_descriptors);
+
+    /** Convenience: issueOn(pickEngine(dir), ...). */
+    sim::SimTime
+    issue(sim::SimTime earliest, sim::Bytes bytes,
+          std::uint32_t new_descriptors, Direction dir)
+    {
+        return issueOn(pickEngine(dir), dir, earliest, bytes,
+                       new_descriptors);
+    }
+
+    sim::Resource &engineAt(Direction dir, std::uint32_t index);
+    const sim::Resource &engineAt(Direction dir,
+                                  std::uint32_t index) const;
+
+    /** DMA descriptors issued in @p dir since construction/reset. */
+    std::uint64_t descriptors(Direction dir) const;
+    std::uint64_t
+    totalDescriptors() const
+    {
+        return descriptors(Direction::kHostToDevice) +
+               descriptors(Direction::kDeviceToHost);
+    }
+
+    /** Reset all engine timelines and descriptor counts. */
+    void reset();
+
+  private:
+    std::vector<sim::Resource> &lane(Direction dir);
+    const std::vector<sim::Resource> &lane(Direction dir) const;
+
+    LinkSpec spec_;
+    int engines_per_dir_;
+    std::vector<sim::Resource> h2d_engines_;
+    std::vector<sim::Resource> d2h_engines_;
+    std::uint64_t h2d_descriptors_ = 0;
+    std::uint64_t d2h_descriptors_ = 0;
+};
+
+}  // namespace uvmd::interconnect
+
+#endif  // UVMD_INTERCONNECT_DMA_SCHEDULER_HPP

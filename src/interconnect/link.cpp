@@ -1,4 +1,4 @@
-#include "interconnect/link.hpp"
+#include "interconnect/link_spec.hpp"
 
 namespace uvmd::interconnect {
 

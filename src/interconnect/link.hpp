@@ -12,10 +12,14 @@
  * (cudaMemPrefetchAsync throughput on PCIe-3/4), and the reason the
  * discard implementation prefers whole 2 MB regions (Section 5.4).
  *
- * Each direction has its own DMA engine timeline, so host-to-device
- * and device-to-host traffic overlap with each other and with GPU
- * computation; traffic totals per direction feed every "PCIe traffic"
- * table in the evaluation.
+ * The engine timelines themselves live in the DmaScheduler: N copy
+ * engines per direction (config knob copy_engines_per_dir, default 1),
+ * so host-to-device and device-to-host traffic — and, with more than
+ * one engine, independent streams in the same direction — overlap
+ * with each other and with GPU computation.  The Link front-end keeps
+ * the spec, the per-direction traffic totals that feed every "PCIe
+ * traffic" table in the evaluation, and the single-descriptor
+ * transfer() convenience used by raw memcpys and remote accesses.
  */
 
 #ifndef UVMD_INTERCONNECT_LINK_HPP
@@ -23,40 +27,25 @@
 
 #include <string>
 
+#include "interconnect/dma_scheduler.hpp"
+#include "interconnect/link_spec.hpp"
 #include "sim/resource.hpp"
 #include "sim/stats.hpp"
-#include "sim/time.hpp"
 
 namespace uvmd::interconnect {
-
-enum class Direction : std::uint8_t { kHostToDevice, kDeviceToHost };
-
-const char *toString(Direction dir);
-
-/** Static description of a link technology. */
-struct LinkSpec {
-    std::string name;
-    double peak_gbps;        ///< peak one-direction bandwidth, GB/s
-    sim::SimDuration setup;  ///< fixed per-transfer latency
-
-    /** PCIe gen3 x16 (paper: ~12 GB/s effective). */
-    static LinkSpec pcie3();
-    /** PCIe gen4 x16, DDR4-3200 bound (paper Section 7.1: 25 GB/s). */
-    static LinkSpec pcie4();
-    /** NVLink-class coherent link (Section 2.3 discussion; ablation). */
-    static LinkSpec nvlink();
-};
 
 class Link
 {
   public:
-    explicit Link(LinkSpec spec)
-        : spec_(std::move(spec)),
-          h2d_engine_("dma_h2d"),
-          d2h_engine_("dma_d2h")
+    explicit Link(LinkSpec spec, int engines_per_dir = 1)
+        : spec_(std::move(spec)), sched_(spec_, engines_per_dir)
     {}
 
     const LinkSpec &spec() const { return spec_; }
+
+    /** The copy-engine scheduler owning this link's DMA timelines. */
+    DmaScheduler &scheduler() { return sched_; }
+    const DmaScheduler &scheduler() const { return sched_; }
 
     /** Pure cost of one transfer, without engine queueing. */
     sim::SimDuration
@@ -77,16 +66,16 @@ class Link
     }
 
     /**
-     * Reserve DMA engine time for a transfer starting no earlier than
-     * @p earliest and account the traffic.
+     * Reserve copy-engine time for one single-descriptor transfer
+     * starting no earlier than @p earliest and account the traffic.
      * @return completion time.
      */
     sim::SimTime
     transfer(sim::SimTime earliest, sim::Bytes bytes, Direction dir)
     {
-        sim::Resource &eng = engine(dir);
         accountTraffic(bytes, dir);
-        return eng.reserve(earliest, transferCost(bytes));
+        return sched_.issue(earliest, bytes, /*new_descriptors=*/1,
+                            dir);
     }
 
     /** Account traffic without reserving time (synchronous paths). */
@@ -102,11 +91,12 @@ class Link
         }
     }
 
+    /** First copy engine of @p dir (compatibility accessor; use
+     *  scheduler() for multi-engine work). */
     sim::Resource &
     engine(Direction dir)
     {
-        return dir == Direction::kHostToDevice ? h2d_engine_
-                                               : d2h_engine_;
+        return sched_.engineAt(dir, 0);
     }
 
     sim::Bytes totalBytes() const
@@ -121,15 +111,13 @@ class Link
     void
     reset()
     {
-        h2d_engine_.reset();
-        d2h_engine_.reset();
+        sched_.reset();
         stats_.reset();
     }
 
   private:
     LinkSpec spec_;
-    sim::Resource h2d_engine_;
-    sim::Resource d2h_engine_;
+    DmaScheduler sched_;
     sim::StatGroup stats_;
 };
 

@@ -11,6 +11,7 @@
 #ifndef UVMD_MEM_PAGE_HPP
 #define UVMD_MEM_PAGE_HPP
 
+#include <bitset>
 #include <cstdint>
 
 #include "sim/time.hpp"
@@ -61,6 +62,68 @@ constexpr std::uint64_t
 smallPageNumber(VirtAddr addr)
 {
     return addr / kSmallPageSize;
+}
+
+// ----------------------------------------------------------------
+// Page-mask helpers
+//
+// Every driver subsystem reasons about per-block page bitmaps; the
+// helpers are templated on the bitset width so they serve any mask
+// type without this header depending on the uvm layer.
+// ----------------------------------------------------------------
+
+/** Total bytes covered by the set 4 KB pages of @p mask. */
+template <std::size_t N>
+sim::Bytes
+maskBytes(const std::bitset<N> &mask)
+{
+    return mask.count() * kSmallPageSize;
+}
+
+/** Invoke @p fn(first, last) for each contiguous run of set bits
+ *  (both bounds inclusive), in ascending order. */
+template <std::size_t N, typename Fn>
+void
+forEachRun(const std::bitset<N> &mask, Fn &&fn)
+{
+    std::size_t i = 0;
+    while (i < N) {
+        if (!mask.test(i)) {
+            ++i;
+            continue;
+        }
+        std::size_t first = i;
+        while (i + 1 < N && mask.test(i + 1))
+            ++i;
+        fn(static_cast<std::uint32_t>(first),
+           static_cast<std::uint32_t>(i));
+        ++i;
+    }
+}
+
+/** Number of contiguous runs of set bits.  Each run is one DMA
+ *  descriptor when the mask is migrated: fragmented masks pay the
+ *  per-transfer setup repeatedly (the paper's Section 5.4 argument
+ *  against splitting 2 MB pages). */
+template <std::size_t N>
+std::uint32_t
+countRuns(const std::bitset<N> &mask)
+{
+    std::uint32_t runs = 0;
+    forEachRun(mask, [&](std::uint32_t, std::uint32_t) { ++runs; });
+    return runs;
+}
+
+/** Invoke @p fn(page) for each set bit of @p mask in ascending order
+ *  (the backing-store iteration idiom). */
+template <std::size_t N, typename Fn>
+void
+forEachSetPage(const std::bitset<N> &mask, Fn &&fn)
+{
+    forEachRun(mask, [&](std::uint32_t first, std::uint32_t last) {
+        for (std::uint32_t p = first; p <= last; ++p)
+            fn(p);
+    });
 }
 
 }  // namespace uvmd::mem

@@ -35,4 +35,29 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
     }
 }
 
+void
+StatGroup::dumpJson(std::ostream &os) const
+{
+    // Names are subsystem-chosen identifiers (dotted paths), so no
+    // string escaping is needed.
+    os << "{";
+    bool first = true;
+    for (const auto &kv : counters_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\"" << kv.first << "\":" << kv.second.value();
+    }
+    for (const auto &kv : dists_) {
+        if (!first)
+            os << ",";
+        first = false;
+        const auto &d = kv.second;
+        os << "\"" << kv.first << "\":{\"count\":" << d.count()
+           << ",\"mean\":" << d.mean() << ",\"min\":" << d.min()
+           << ",\"max\":" << d.max() << "}";
+    }
+    os << "}";
+}
+
 }  // namespace uvmd::sim

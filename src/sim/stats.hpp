@@ -105,6 +105,10 @@ class StatGroup
     /** Dump all statistics as "name value" lines. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
+    /** Dump all statistics as one JSON object (counters as integer
+     *  members; distributions as {count,mean,min,max} objects). */
+    void dumpJson(std::ostream &os) const;
+
   private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Distribution> dists_;

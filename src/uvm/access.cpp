@@ -27,7 +27,10 @@ UvmDriver::gpuAccess(GpuId id, const std::vector<Access> &accesses,
     sim::SimTime t = start;
     // Faults raised while this kernel runs accumulate in the GPU's
     // replayable fault buffer and are drained in batches; the fill
-    // level is shared across the kernel's whole access walk.
+    // level is shared across the kernel's whole access walk.  The
+    // walk is also one transfer batch: fault migrations of adjacent
+    // blocks may coalesce on the copy engines.
+    TransferEngine::BatchScope batch(*xfer_);
     std::uint32_t batch_fill = 0;
     for (const Access &a : accesses) {
         va_space_.forEachBlock(
@@ -123,6 +126,9 @@ UvmDriver::hostAccess(mem::VirtAddr addr, sim::Bytes size,
                       AccessKind kind, sim::SimTime start)
 {
     sim::SimTime t = start;
+    // A host access walk is one transfer batch (write-backs of
+    // adjacent GPU-resident blocks may coalesce).
+    TransferEngine::BatchScope batch(*xfer_);
     va_space_.forEachBlock(addr, size, [&](VaBlock &b,
                                            const PageMask &m) {
         PageMask on_gpu = m & b.resident_gpu;
@@ -146,14 +152,11 @@ UvmDriver::hostAccess(mem::VirtAddr addr, sim::Bytes size,
             b.resident_cpu |= unpop;
             b.cpu_pages_present |= unpop;
             if (backing_.enabled()) {
-                for (std::uint32_t p = 0; p < mem::kPagesPerBlock;
-                     ++p) {
-                    if (unpop.test(p)) {
-                        backing_.zeroPage(
-                            b.base + p * mem::kSmallPageSize,
-                            mem::CopySlot::kHost);
-                    }
-                }
+                mem::forEachSetPage(unpop, [&](std::uint32_t p) {
+                    backing_.zeroPage(
+                        b.base + p * mem::kSmallPageSize,
+                        mem::CopySlot::kHost);
+                });
             }
         }
 

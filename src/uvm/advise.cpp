@@ -86,14 +86,15 @@ UvmDriver::remoteTouchBlock(VaBlock &block, const PageMask &m,
     // Every access moves the touched bytes over the interconnect:
     // reads pull device-ward, writes push host-ward.
     sim::Bytes bytes = m.count() * mem::kSmallPageSize;
-    interconnect::Link &l = gpu(id).link;
     if (reads(kind)) {
         counters_.counter("remote_read_bytes").inc(bytes);
-        t = l.transfer(t, bytes, interconnect::Direction::kHostToDevice);
+        t = xfer_->remoteAccess(
+            id, bytes, interconnect::Direction::kHostToDevice, t);
     }
     if (writes(kind)) {
         counters_.counter("remote_write_bytes").inc(bytes);
-        t = l.transfer(t, bytes, interconnect::Direction::kDeviceToHost);
+        t = xfer_->remoteAccess(
+            id, bytes, interconnect::Direction::kDeviceToHost, t);
     }
     notifyAccess(block, m, kind, ProcessorId::gpu(id));
     return t;

@@ -96,6 +96,21 @@ struct UvmConfig {
     /** Reclaiming a chunk that needs no transfer (unused/discarded). */
     sim::SimDuration reclaim_cost = sim::microseconds(1);
 
+    // ---- Transfer engine (how residency movement executes) ----
+
+    /** DMA copy engines per direction per GPU (and on the peer
+     *  fabric).  Real GPUs expose several; more engines let
+     *  same-direction traffic from independent streams overlap.
+     *  Default 1 preserves the calibrated seed timings. */
+    int copy_engines_per_dir = 1;
+
+    /** Coalesce virtually-contiguous runs that span adjacent
+     *  va_blocks within one prefetch/fault/eviction batch into a
+     *  single DMA descriptor, paying one per-transfer setup instead
+     *  of one per block.  Default off preserves the calibrated seed
+     *  timings; see uvm.dma_descriptors for the effect. */
+    bool coalesce_transfers = false;
+
     // ---- GPU-local copy engine ----
 
     /** Zero-fill bandwidth for big contiguous chunks (GB/s). */

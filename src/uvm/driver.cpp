@@ -26,13 +26,18 @@ UvmDriver::UvmDriver(const UvmConfig &cfg,
                      interconnect::LinkSpec link_spec,
                      interconnect::LinkSpec peer_spec)
     : cfg_(cfg), eviction_rng_(cfg.eviction_seed),
-      peer_link_(std::move(peer_spec)), backing_(cfg.backed)
+      peer_link_(std::move(peer_spec), cfg.copy_engines_per_dir),
+      backing_(cfg.backed)
 {
     if (cfg.num_gpus < 1)
         sim::fatal("UvmDriver: need at least one GPU");
     gpus_.reserve(cfg.num_gpus);
     for (int i = 0; i < cfg.num_gpus; ++i)
         gpus_.push_back(std::make_unique<GpuState>(cfg, link_spec));
+    xfer_ = std::make_unique<TransferEngine>(cfg_, counters_);
+    for (auto &g : gpus_)
+        xfer_->addGpuLink(&g->link);
+    xfer_->setPeerLink(&peer_link_);
 }
 
 UvmDriver::GpuState &
@@ -71,15 +76,14 @@ UvmDriver::freeManaged(mem::VirtAddr base)
             releaseChunk(block);
         }
         if (backing_.enabled()) {
-            for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
-                if (!block.cpu_pages_present.test(p) &&
-                    !populated.test(p)) {
-                    continue;
-                }
-                mem::VirtAddr va = block.base + p * mem::kSmallPageSize;
-                backing_.dropPage(va, mem::CopySlot::kHost);
-                backing_.dropPage(va, mem::CopySlot::kDevice);
-            }
+            mem::forEachSetPage(
+                block.cpu_pages_present | populated,
+                [&](std::uint32_t p) {
+                    mem::VirtAddr va =
+                        block.base + p * mem::kSmallPageSize;
+                    backing_.dropPage(va, mem::CopySlot::kHost);
+                    backing_.dropPage(va, mem::CopySlot::kDevice);
+                });
         }
     }
     counters_.counter("managed_frees").inc();
@@ -150,20 +154,6 @@ UvmDriver::peek(mem::VirtAddr addr, void *out, std::size_t len)
 }
 
 void
-UvmDriver::accountTransfer(const VaBlock &block, const PageMask &pages,
-                           interconnect::Direction dir,
-                           TransferCause cause)
-{
-    sim::Bytes bytes = pages.count() * mem::kSmallPageSize;
-    std::string key =
-        dir == interconnect::Direction::kHostToDevice ? "bytes_h2d."
-                                                      : "bytes_d2h.";
-    counters_.counter(key + toString(cause)).inc(bytes);
-    if (observer_)
-        observer_->onTransfer(block, pages, dir, cause);
-}
-
-void
 UvmDriver::notifyAccess(const VaBlock &block, const PageMask &pages,
                         AccessKind kind, ProcessorId where)
 {
@@ -197,6 +187,30 @@ UvmDriver::totalTrafficBytes() const
     return trafficH2d() + trafficD2h();
 }
 
+namespace {
+
+/** "name busy-ns" lines for each copy engine of a scheduler. */
+void
+dumpEngines(std::ostream &os, const std::string &prefix,
+            const interconnect::DmaScheduler &sched)
+{
+    using interconnect::Direction;
+    for (Direction dir :
+         {Direction::kHostToDevice, Direction::kDeviceToHost}) {
+        for (int i = 0; i < sched.enginesPerDir(); ++i) {
+            const sim::Resource &eng =
+                sched.engineAt(dir, static_cast<std::uint32_t>(i));
+            os << prefix << eng.name() << ".busy " << eng.busyTime()
+               << "\n";
+        }
+        os << prefix << "descriptors_"
+           << interconnect::toString(dir) << " "
+           << sched.descriptors(dir) << "\n";
+    }
+}
+
+}  // namespace
+
 void
 UvmDriver::dumpStats(std::ostream &os)
 {
@@ -205,6 +219,7 @@ UvmDriver::dumpStats(std::ostream &os)
         GpuState &g = *gpus_[i];
         std::string prefix = "gpu" + std::to_string(i) + ".";
         g.link.stats().dump(os, prefix + "link.");
+        dumpEngines(os, prefix + "link.", g.link.scheduler());
         g.allocator.stats().dump(os, prefix + "alloc.");
         g.zero_engine.stats().dump(os, prefix + "zero.");
         os << prefix << "chunks.total " << g.allocator.totalChunks()
@@ -221,6 +236,73 @@ UvmDriver::dumpStats(std::ostream &os)
            << g.queues.discardedQueue().size() << "\n";
     }
     peer_link_.stats().dump(os, "peer.");
+    dumpEngines(os, "peer.", peer_link_.scheduler());
+}
+
+namespace {
+
+/** JSON object with each copy engine's busy time plus descriptor
+ *  counts for one scheduler. */
+void
+jsonEngines(std::ostream &os, const interconnect::DmaScheduler &sched)
+{
+    using interconnect::Direction;
+    os << "{";
+    bool first_dir = true;
+    for (Direction dir :
+         {Direction::kHostToDevice, Direction::kDeviceToHost}) {
+        if (!first_dir)
+            os << ",";
+        first_dir = false;
+        os << "\"" << interconnect::toString(dir)
+           << "\":{\"descriptors\":" << sched.descriptors(dir)
+           << ",\"busy\":[";
+        for (int i = 0; i < sched.enginesPerDir(); ++i) {
+            if (i)
+                os << ",";
+            os << sched
+                      .engineAt(dir, static_cast<std::uint32_t>(i))
+                      .busyTime();
+        }
+        os << "]}";
+    }
+    os << "}";
+}
+
+}  // namespace
+
+void
+UvmDriver::dumpStatsJson(std::ostream &os)
+{
+    os << "{\"uvm\":";
+    counters_.dumpJson(os);
+    os << ",\"gpus\":[";
+    for (std::size_t i = 0; i < gpus_.size(); ++i) {
+        GpuState &g = *gpus_[i];
+        if (i)
+            os << ",";
+        os << "{\"link\":";
+        g.link.stats().dumpJson(os);
+        os << ",\"copy_engines\":";
+        jsonEngines(os, g.link.scheduler());
+        os << ",\"alloc\":";
+        g.allocator.stats().dumpJson(os);
+        os << ",\"zero\":";
+        g.zero_engine.stats().dumpJson(os);
+        os << ",\"chunks\":{\"total\":" << g.allocator.totalChunks()
+           << ",\"allocated\":" << g.allocator.allocatedChunks()
+           << ",\"reserved\":" << g.allocator.reservedChunks() << "}"
+           << ",\"queues\":{\"unused\":"
+           << g.queues.unusedQueue().size()
+           << ",\"used\":" << g.queues.usedQueue().size()
+           << ",\"discarded\":" << g.queues.discardedQueue().size()
+           << "}}";
+    }
+    os << "],\"peer\":{\"link\":";
+    peer_link_.stats().dumpJson(os);
+    os << ",\"copy_engines\":";
+    jsonEngines(os, peer_link_.scheduler());
+    os << "}}\n";
 }
 
 void

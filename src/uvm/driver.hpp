@@ -7,18 +7,27 @@
  * migration, prefetch, eviction, and the two discard implementations.
  *
  * Every operation that consumes time takes a start time and returns a
- * completion time, reserving spans on the interconnect DMA engines
+ * completion time, reserving spans on the interconnect copy engines
  * and the GPU-local zero engine along the way; the CUDA runtime layer
  * threads stream ordering through these timestamps.
  *
+ * Policy/mechanism split: UvmDriver is *policy* — it decides what
+ * moves, what the discard state lets it skip, and what gets evicted.
+ * The *mechanism* of moving bytes lives in the TransferEngine
+ * (uvm/transfer_engine.hpp): every transfer is a structured
+ * TransferRequest the engine turns into DMA descriptors, accounts,
+ * and reports to the TransferObserver spine.  Driver code never
+ * touches the link engines directly.
+ *
  * Implementation is split by concern:
- *   driver.cpp     construction, allocation, accounting helpers
- *   migration.cpp  residency movement in both directions
- *   eviction.cpp   the free->unused->discarded->used-LRU reclaim order
- *   prefetch.cpp   cudaMemPrefetchAsync semantics (incl. lazy re-dirty)
- *   discard.cpp    UvmDiscard / UvmDiscardLazy (Sections 5.1-5.2, 5.4)
- *   access.cpp     GPU kernel and host access paths (fault handling)
- *   page_table.cpp mapping-cost bookkeeping
+ *   driver.cpp          construction, allocation, stat dumps
+ *   transfer_engine.cpp the transfer mechanism (descriptors, engines)
+ *   migration.cpp       residency movement in both directions
+ *   eviction.cpp        free->unused->discarded->used-LRU reclaim order
+ *   prefetch.cpp        cudaMemPrefetchAsync (incl. lazy re-dirty)
+ *   discard.cpp         UvmDiscard / UvmDiscardLazy (Sections 5.1-5.4)
+ *   access.cpp          GPU kernel and host access paths (faults)
+ *   page_table.cpp      mapping-cost bookkeeping
  */
 
 #ifndef UVMD_UVM_DRIVER_HPP
@@ -39,6 +48,7 @@
 #include "sim/stats.hpp"
 #include "uvm/config.hpp"
 #include "uvm/observer.hpp"
+#include "uvm/transfer_engine.hpp"
 #include "uvm/va_space.hpp"
 
 namespace uvmd::uvm {
@@ -190,26 +200,40 @@ class UvmDriver
     sim::StatGroup &counters() { return counters_; }
     const sim::StatGroup &counters() const { return counters_; }
 
+    /** The transfer mechanism: every byte the driver moves flows
+     *  through this engine (accounting, observers, DMA scheduling). */
+    TransferEngine &transferEngine() { return *xfer_; }
+
     /** Aggregate interconnect traffic across all GPUs. */
     sim::Bytes totalTrafficBytes() const;
     sim::Bytes trafficH2d() const;
     sim::Bytes trafficD2h() const;
 
-    void setObserver(TransferObserver *obs) { observer_ = obs; }
+    void
+    setObserver(TransferObserver *obs)
+    {
+        observer_ = obs;
+        xfer_->setObserver(obs);
+    }
 
     /** Validate internal invariants; panics on violation (tests). */
     void checkInvariants();
 
     /** Dump every statistic (driver counters, per-GPU link/allocator/
-     *  queue state, zero engines) as "name value" lines. */
+     *  queue state, zero engines, copy-engine busy times) as
+     *  "name value" lines. */
     void dumpStats(std::ostream &os);
+
+    /** JSON sibling of dumpStats: one object with the same data,
+     *  machine-parsable for bench tooling as the stat set grows. */
+    void dumpStatsJson(std::ostream &os);
 
   private:
     struct GpuState {
         explicit GpuState(const UvmConfig &cfg,
                           const interconnect::LinkSpec &spec)
             : allocator(cfg.gpu_memory),
-              link(spec),
+              link(spec, cfg.copy_engines_per_dir),
               zero_engine(cfg.zero_bandwidth_gbps, cfg.zero_setup)
         {}
 
@@ -325,9 +349,6 @@ class UvmDriver
     // ---- driver.cpp helpers ----
 
     GpuState &gpu(GpuId id);
-    void accountTransfer(const VaBlock &block, const PageMask &pages,
-                         interconnect::Direction dir,
-                         TransferCause cause);
     void notifyAccess(const VaBlock &block, const PageMask &pages,
                       AccessKind kind, ProcessorId where);
     mem::CopySlot residentSlot(const VaBlock &block,
@@ -342,6 +363,7 @@ class UvmDriver
     mem::BackingStore backing_;
     sim::StatGroup counters_;
     TransferObserver *observer_ = nullptr;
+    std::unique_ptr<TransferEngine> xfer_;
 };
 
 }  // namespace uvmd::uvm

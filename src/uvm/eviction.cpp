@@ -26,6 +26,9 @@ UvmDriver::allocChunk(VaBlock &block, GpuId id, sim::SimTime start)
         sim::panic("allocChunk: block already has a chunk");
     GpuState &g = gpu(id);
     sim::SimTime t = start;
+    // One allocation's evictions form one transfer batch: swap-outs
+    // of adjacent victim blocks may coalesce on the D2H engines.
+    TransferEngine::BatchScope batch(*xfer_);
     while (!g.allocator.tryAllocChunk())
         t = evictOne(id, t);
     block.has_gpu_chunk = true;
@@ -84,22 +87,15 @@ UvmDriver::evictOne(GpuId id, sim::SimTime start)
             // is deferred to this point (Section 5.6).
             t = unmapFromGpu(*b, b->mapped_gpu, t);
             PageMask skipped = b->resident_gpu;
-            counters_.counter("saved_d2h_bytes")
-                .inc(skipped.count() * mem::kSmallPageSize);
-            if (observer_) {
-                observer_->onTransferSkipped(
-                    *b, skipped, interconnect::Direction::kDeviceToHost,
-                    TransferCause::kEviction);
-            }
+            xfer_->skipped(*b, skipped,
+                           interconnect::Direction::kDeviceToHost,
+                           TransferCause::kEviction);
             if (backing_.enabled()) {
-                for (std::uint32_t p = 0; p < mem::kPagesPerBlock;
-                     ++p) {
-                    if (skipped.test(p)) {
-                        backing_.dropPage(
-                            b->base + p * mem::kSmallPageSize,
-                            mem::CopySlot::kDevice);
-                    }
-                }
+                mem::forEachSetPage(skipped, [&](std::uint32_t p) {
+                    backing_.dropPage(
+                        b->base + p * mem::kSmallPageSize,
+                        mem::CopySlot::kDevice);
+                });
             }
             // Pages with a surviving pinned CPU copy fall back to it
             // (and stay discarded); the rest become unpopulated.

@@ -1,11 +1,15 @@
 /**
  * @file
- * Residency movement between host and device.
+ * Residency movement between host and device (policy side).
  *
  * The skip rules of Section 5.3 live here: pages marked discarded are
  * never copied over the interconnect — device-to-host moves keep the
  * stale pinned CPU page (or leave the page unpopulated), and
  * host-to-device moves zero-fill a fresh GPU page instead.
+ *
+ * No transfer executes here directly: every movement is submitted to
+ * the TransferEngine as a structured request, which schedules DMA
+ * descriptors, accounts traffic, and notifies observers.
  */
 
 #include "sim/logging.hpp"
@@ -16,32 +20,10 @@ namespace uvmd::uvm {
 namespace {
 
 using interconnect::Direction;
-
-sim::Bytes
-maskBytes(const PageMask &mask)
-{
-    return mask.count() * mem::kSmallPageSize;
-}
+using mem::forEachSetPage;
+using mem::maskBytes;
 
 }  // namespace
-
-/**
- * Move @p pages of a block over @p link in @p dir, one DMA descriptor
- * per contiguous run: a fragmented mask (a split 2 MB mapping) pays
- * the per-transfer setup for every fragment.
- */
-static sim::SimTime
-transferMask(interconnect::Link &link, const PageMask &pages,
-             interconnect::Direction dir, sim::SimTime start)
-{
-    std::uint32_t runs = countRuns(pages);
-    sim::Bytes bytes = maskBytes(pages);
-    sim::SimDuration duration =
-        runs * link.spec().setup +
-        sim::transferTime(bytes, link.spec().peak_gbps);
-    link.accountTraffic(bytes, dir);
-    return link.engine(dir).reserve(start, duration);
-}
 
 sim::SimTime
 UvmDriver::zeroGpuPages(VaBlock &block, const PageMask &pages,
@@ -53,12 +35,10 @@ UvmDriver::zeroGpuPages(VaBlock &block, const PageMask &pages,
         start + gpu(id).zero_engine.zeroCost(maskBytes(pages));
     block.gpu_prepared |= pages;
     if (backing_.enabled()) {
-        for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
-            if (pages.test(p)) {
-                backing_.zeroPage(block.base + p * mem::kSmallPageSize,
-                                  mem::CopySlot::kDevice);
-            }
-        }
+        forEachSetPage(pages, [&](std::uint32_t p) {
+            backing_.zeroPage(block.base + p * mem::kSmallPageSize,
+                              mem::CopySlot::kDevice);
+        });
     }
     return t;
 }
@@ -72,12 +52,10 @@ UvmDriver::rezeroChunk(VaBlock &block, GpuId id, sim::SimTime start)
     if (backing_.enabled()) {
         PageMask unprepared = block.valid & ~block.gpu_prepared &
                               block.resident_gpu;
-        for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
-            if (unprepared.test(p)) {
-                backing_.zeroPage(block.base + p * mem::kSmallPageSize,
-                                  mem::CopySlot::kDevice);
-            }
-        }
+        forEachSetPage(unprepared, [&](std::uint32_t p) {
+            backing_.zeroPage(block.base + p * mem::kSmallPageSize,
+                              mem::CopySlot::kDevice);
+        });
     }
     block.gpu_prepared |= block.valid;
     return t;
@@ -112,18 +90,15 @@ UvmDriver::migrateToGpu(VaBlock &block, const PageMask &pages,
         // Live data moves over the interconnect (CPU PTEs must go
         // first so the host cannot see a torn copy).
         t = unmapFromCpu(block, transfer, t);
-        t = transferMask(gpu(id).link, transfer,
-                         Direction::kHostToDevice, t);
-        accountTransfer(block, transfer, Direction::kHostToDevice,
-                        cause);
+        t = xfer_->submit({&block, transfer,
+                           Direction::kHostToDevice, cause, id},
+                          t);
         if (backing_.enabled()) {
-            for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
-                if (transfer.test(p)) {
-                    backing_.copyPage(
-                        block.base + p * mem::kSmallPageSize,
-                        mem::CopySlot::kHost, mem::CopySlot::kDevice);
-                }
-            }
+            forEachSetPage(transfer, [&](std::uint32_t p) {
+                backing_.copyPage(block.base + p * mem::kSmallPageSize,
+                                  mem::CopySlot::kHost,
+                                  mem::CopySlot::kDevice);
+            });
         }
         block.gpu_prepared |= transfer;
     }
@@ -133,13 +108,8 @@ UvmDriver::migrateToGpu(VaBlock &block, const PageMask &pages,
         // page instead of a transfer (Section 5.3, second scenario).
         t = unmapFromCpu(block, zeroed, t);
         t = zeroGpuPages(block, zeroed, id, t);
-        if (skipped.any()) {
-            counters_.counter("saved_h2d_bytes").inc(maskBytes(skipped));
-            if (observer_) {
-                observer_->onTransferSkipped(
-                    block, skipped, Direction::kHostToDevice, cause);
-            }
-        }
+        xfer_->skipped(block, skipped, Direction::kHostToDevice,
+                       cause);
     }
 
     block.resident_cpu &= ~need;
@@ -179,20 +149,13 @@ UvmDriver::migrateGpuToGpu(VaBlock &block, const PageMask &pages,
     PageMask skipped = moving & block.discarded;
     PageMask live = moving & ~block.discarded;
     if (skipped.any()) {
-        counters_.counter("saved_d2d_bytes")
-            .inc(skipped.count() * mem::kSmallPageSize);
-        if (observer_) {
-            observer_->onTransferSkipped(
-                block, skipped, Direction::kDeviceToHost, cause);
-        }
+        xfer_->skipped(block, skipped, Direction::kDeviceToHost,
+                       cause, /*peer=*/true);
         if (backing_.enabled()) {
-            for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
-                if (skipped.test(p)) {
-                    backing_.dropPage(
-                        block.base + p * mem::kSmallPageSize,
-                        mem::CopySlot::kDevice);
-                }
-            }
+            forEachSetPage(skipped, [&](std::uint32_t p) {
+                backing_.dropPage(block.base + p * mem::kSmallPageSize,
+                                  mem::CopySlot::kDevice);
+            });
         }
         block.resident_cpu |= skipped & block.cpu_pages_present;
         block.discarded &= ~(skipped & ~block.cpu_pages_present);
@@ -206,37 +169,24 @@ UvmDriver::migrateGpuToGpu(VaBlock &block, const PageMask &pages,
     t = allocChunk(block, dst, t);
 
     if (live.any()) {
-        sim::Bytes bytes = live.count() * mem::kSmallPageSize;
-        std::uint32_t runs = countRuns(live);
         counters_.counter("gpu_to_gpu_migrations").inc();
         if (cfg_.peer_enabled) {
-            // Direct peer copy over the NVLink-class fabric.
-            sim::SimDuration d =
-                runs * peer_link_.spec().setup +
-                sim::transferTime(bytes, peer_link_.spec().peak_gbps);
-            peer_link_.accountTraffic(bytes,
-                                      Direction::kHostToDevice);
-            counters_.counter("bytes_d2d").inc(bytes);
-            t = peer_link_.engine(Direction::kHostToDevice)
-                    .reserve(t, d);
-            // The auditor tracks the moved value like any other
-            // transfer (bucketed device-ward).
-            if (observer_) {
-                observer_->onTransfer(block, live,
-                                      Direction::kHostToDevice,
-                                      cause);
-            }
+            // Direct peer copy over the NVLink-class fabric.  The
+            // auditor tracks the moved value like any other transfer
+            // (bucketed device-ward).
+            t = xfer_->submit({&block, live,
+                               Direction::kHostToDevice, cause, dst,
+                               /*peer=*/true},
+                              t);
         } else {
             // No peer access: bounce through host memory, paying
             // both PCIe directions.
-            t = transferMask(gpu(src).link, live,
-                             Direction::kDeviceToHost, t);
-            t = transferMask(gpu(dst).link, live,
-                             Direction::kHostToDevice, t);
-            accountTransfer(block, live, Direction::kDeviceToHost,
-                            cause);
-            accountTransfer(block, live, Direction::kHostToDevice,
-                            cause);
+            t = xfer_->submit({&block, live,
+                               Direction::kDeviceToHost, cause, src},
+                              t);
+            t = xfer_->submit({&block, live,
+                               Direction::kHostToDevice, cause, dst},
+                              t);
         }
         // The device copy moves with the block (exclusive
         // residency keeps a single device slot).
@@ -261,42 +211,30 @@ UvmDriver::migrateToCpu(VaBlock &block, const PageMask &pages,
     PageMask skipped = moving & block.discarded;
 
     if (live.any()) {
-        t = transferMask(gpu(id).link, live,
-                         Direction::kDeviceToHost, t);
-        accountTransfer(block, live, Direction::kDeviceToHost, cause);
+        t = xfer_->submit({&block, live, Direction::kDeviceToHost,
+                           cause, id},
+                          t);
         if (backing_.enabled()) {
-            for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
-                if (live.test(p)) {
-                    mem::VirtAddr va =
-                        block.base + p * mem::kSmallPageSize;
-                    backing_.copyPage(va, mem::CopySlot::kDevice,
-                                      mem::CopySlot::kHost);
-                }
-            }
+            forEachSetPage(live, [&](std::uint32_t p) {
+                backing_.copyPage(block.base + p * mem::kSmallPageSize,
+                                  mem::CopySlot::kDevice,
+                                  mem::CopySlot::kHost);
+            });
         }
         block.cpu_pages_present |= live;
     }
 
-    if (skipped.any()) {
-        // Discarded pages are reclaimed without a transfer (Section
-        // 5.3, first scenario).  Pages with a surviving pinned CPU
-        // copy fall back to that stale copy ("old data values",
-        // Section 4.1); pages without one become unpopulated and will
-        // read as zeros.
-        counters_.counter("saved_d2h_bytes").inc(maskBytes(skipped));
-        if (observer_) {
-            observer_->onTransferSkipped(
-                block, skipped, Direction::kDeviceToHost, cause);
-        }
-    }
+    // Discarded pages are reclaimed without a transfer (Section 5.3,
+    // first scenario).  Pages with a surviving pinned CPU copy fall
+    // back to that stale copy ("old data values", Section 4.1); pages
+    // without one become unpopulated and will read as zeros.
+    xfer_->skipped(block, skipped, Direction::kDeviceToHost, cause);
 
     if (backing_.enabled()) {
-        for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
-            if (moving.test(p)) {
-                backing_.dropPage(block.base + p * mem::kSmallPageSize,
-                                  mem::CopySlot::kDevice);
-            }
-        }
+        forEachSetPage(moving, [&](std::uint32_t p) {
+            backing_.dropPage(block.base + p * mem::kSmallPageSize,
+                              mem::CopySlot::kDevice);
+        });
     }
 
     block.resident_gpu &= ~moving;

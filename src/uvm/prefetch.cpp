@@ -26,6 +26,10 @@ UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
     sim::SimTime t = start;
     counters_.counter("prefetch_calls").inc();
 
+    // One prefetch call is one transfer batch: runs spanning adjacent
+    // blocks may coalesce into single DMA descriptors.
+    TransferEngine::BatchScope batch(*xfer_);
+
     va_space_.forEachBlock(addr, size, [&](VaBlock &b,
                                            const PageMask &m) {
         if (dst.isGpu()) {
@@ -83,14 +87,11 @@ UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
                 b.resident_cpu |= unpop;
                 b.cpu_pages_present |= unpop;
                 if (backing_.enabled()) {
-                    for (std::uint32_t p = 0; p < mem::kPagesPerBlock;
-                         ++p) {
-                        if (unpop.test(p)) {
-                            backing_.zeroPage(
-                                b.base + p * mem::kSmallPageSize,
-                                mem::CopySlot::kHost);
-                        }
-                    }
+                    mem::forEachSetPage(unpop, [&](std::uint32_t p) {
+                        backing_.zeroPage(
+                            b.base + p * mem::kSmallPageSize,
+                            mem::CopySlot::kHost);
+                    });
                 }
                 t += cfg_.cpu_fault_cost;
             }

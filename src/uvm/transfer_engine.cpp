@@ -1,0 +1,157 @@
+#include "uvm/transfer_engine.hpp"
+
+#include "sim/logging.hpp"
+
+namespace uvmd::uvm {
+
+using interconnect::Direction;
+
+TransferEngine::TransferEngine(const UvmConfig &cfg,
+                               sim::StatGroup &counters)
+    : cfg_(cfg), counters_(counters)
+{}
+
+void
+TransferEngine::addGpuLink(interconnect::Link *link)
+{
+    gpu_links_.push_back(link);
+    tails_.assign(gpu_links_.size() + 1, {});
+}
+
+void
+TransferEngine::setPeerLink(interconnect::Link *peer)
+{
+    peer_link_ = peer;
+}
+
+void
+TransferEngine::beginBatch()
+{
+    if (batch_depth_++ == 0)
+        tails_.assign(tails_.size(), {});
+}
+
+void
+TransferEngine::endBatch()
+{
+    if (batch_depth_ <= 0)
+        sim::panic("TransferEngine: unbalanced batch scope");
+    if (--batch_depth_ == 0)
+        tails_.assign(tails_.size(), {});
+}
+
+interconnect::Link &
+TransferEngine::linkFor(const TransferRequest &req)
+{
+    if (req.peer) {
+        if (!peer_link_)
+            sim::panic("TransferEngine: peer link not wired");
+        return *peer_link_;
+    }
+    if (req.gpu < 0 ||
+        req.gpu >= static_cast<GpuId>(gpu_links_.size()))
+        sim::panic("TransferEngine: bad GPU id");
+    return *gpu_links_[req.gpu];
+}
+
+std::size_t
+TransferEngine::linkIndex(const TransferRequest &req) const
+{
+    return req.peer ? gpu_links_.size()
+                    : static_cast<std::size_t>(req.gpu);
+}
+
+void
+TransferEngine::invalidateTail(std::size_t link_idx, Direction dir)
+{
+    if (link_idx < tails_.size())
+        tails_[link_idx][static_cast<std::size_t>(dir)] = Tail{};
+}
+
+sim::SimTime
+TransferEngine::submit(const TransferRequest &req, sim::SimTime start)
+{
+    if (!req.block)
+        sim::panic("TransferEngine: request without a block");
+    if (req.pages.none())
+        return start;
+
+    interconnect::Link &link = linkFor(req);
+    interconnect::DmaScheduler &sched = link.scheduler();
+    sim::Bytes bytes = mem::maskBytes(req.pages);
+    std::uint32_t runs = mem::countRuns(req.pages);
+
+    // Span of the mask in virtual-address terms, for cross-block
+    // coalescing: the first descriptor of this request can merge with
+    // the previous request's last descriptor when the two are
+    // virtually contiguous (the adjacent-block case of one prefetch).
+    std::uint32_t first_page = 0;
+    while (!req.pages.test(first_page))
+        ++first_page;
+    std::uint32_t last_page = mem::kPagesPerBlock - 1;
+    while (!req.pages.test(last_page))
+        --last_page;
+    mem::VirtAddr first_addr =
+        req.block->base + first_page * mem::kSmallPageSize;
+    mem::VirtAddr end_addr =
+        req.block->base + (last_page + 1) * mem::kSmallPageSize;
+
+    Tail &tail = tails_[linkIndex(req)][static_cast<std::size_t>(
+        req.dir)];
+    bool merge = cfg_.coalesce_transfers && batch_depth_ > 0 &&
+                 tail.valid && tail.end_addr == first_addr;
+    std::uint32_t new_descriptors = merge ? runs - 1 : runs;
+    std::uint32_t engine =
+        merge ? tail.engine : sched.pickEngine(req.dir);
+
+    sim::SimTime done =
+        sched.issueOn(engine, req.dir, start, bytes, new_descriptors);
+
+    link.accountTraffic(bytes, req.dir);
+    counters_.counter("dma_descriptors").inc(new_descriptors);
+    if (merge)
+        counters_.counter("dma_descriptors_coalesced").inc();
+    if (req.peer) {
+        counters_.counter("bytes_d2d").inc(bytes);
+    } else {
+        std::string key = req.dir == Direction::kHostToDevice
+                              ? "bytes_h2d."
+                              : "bytes_d2h.";
+        counters_.counter(key + toString(req.cause)).inc(bytes);
+    }
+    if (observer_)
+        observer_->onTransfer(*req.block, req.pages, req.dir,
+                              req.cause);
+
+    tail = Tail{true, end_addr, engine};
+    return done;
+}
+
+void
+TransferEngine::skipped(const VaBlock &block, const PageMask &pages,
+                        Direction dir, TransferCause cause, bool peer)
+{
+    if (pages.none())
+        return;
+    const char *key = peer ? "saved_d2d_bytes"
+                     : dir == Direction::kDeviceToHost
+                         ? "saved_d2h_bytes"
+                         : "saved_h2d_bytes";
+    counters_.counter(key).inc(mem::maskBytes(pages));
+    if (observer_)
+        observer_->onTransferSkipped(block, pages, dir, cause);
+}
+
+sim::SimTime
+TransferEngine::rawTransfer(GpuId gpu, sim::Bytes bytes,
+                            Direction dir, sim::SimTime start)
+{
+    if (gpu < 0 || gpu >= static_cast<GpuId>(gpu_links_.size()))
+        sim::panic("TransferEngine: bad GPU id");
+    // A foreign descriptor lands on the engine timeline: whatever
+    // coalescing tail was open for this link/direction is broken.
+    invalidateTail(static_cast<std::size_t>(gpu), dir);
+    return gpu_links_[gpu]->transfer(start, bytes, dir);
+}
+
+}  // namespace uvmd::uvm

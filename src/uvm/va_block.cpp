@@ -33,20 +33,6 @@ maskForRange(mem::VirtAddr block_base, mem::VirtAddr addr,
     return makeMask(first, last);
 }
 
-std::uint32_t
-countRuns(const PageMask &mask)
-{
-    std::uint32_t runs = 0;
-    bool in_run = false;
-    for (std::uint32_t i = 0; i < mem::kPagesPerBlock; ++i) {
-        bool set = mask.test(i);
-        if (set && !in_run)
-            ++runs;
-        in_run = set;
-    }
-    return runs;
-}
-
 std::string
 VaBlock::describe() const
 {

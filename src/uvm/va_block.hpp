@@ -34,11 +34,13 @@ PageMask makeMask(std::uint32_t first, std::uint32_t last);
 PageMask maskForRange(mem::VirtAddr block_base, mem::VirtAddr addr,
                       sim::Bytes size);
 
-/** Number of contiguous runs of set bits.  Each run is one DMA
- *  descriptor when the mask is migrated: fragmented masks pay the
- *  per-transfer setup repeatedly (Section 5.4's argument against
- *  splitting 2 MB pages). */
-std::uint32_t countRuns(const PageMask &mask);
+/** Number of contiguous runs of set bits (one DMA descriptor each);
+ *  shared implementation in mem/page.hpp. */
+inline std::uint32_t
+countRuns(const PageMask &mask)
+{
+    return mem::countRuns(mask);
+}
 
 struct VaBlock {
     /** Block base virtual address (2 MB aligned). */

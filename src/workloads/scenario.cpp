@@ -171,6 +171,28 @@ class ScenarioInterpreter
                                 "unknown policy '" + name + "'");
             } else if (cmd == "occupy") {
                 occupy = arg(i, 1, &parseSize);
+            } else if (cmd == "copy_engines") {
+                const std::string &n = argStr(i, 1);
+                int v = 0;
+                try {
+                    v = std::stoi(n);
+                } catch (const std::exception &) {
+                    v = 0;
+                }
+                if (v < 1)
+                    scriptError(line_no,
+                                "bad copy engine count '" + n + "'");
+                cfg.copy_engines_per_dir = v;
+            } else if (cmd == "coalesce") {
+                const std::string &v = argStr(i, 1);
+                if (v == "on")
+                    cfg.coalesce_transfers = true;
+                else if (v == "off")
+                    cfg.coalesce_transfers = false;
+                else
+                    scriptError(line_no,
+                                "coalesce expects on|off, got '" + v +
+                                    "'");
             } else {
                 first_op = i;
                 break;
@@ -308,7 +330,8 @@ class ScenarioInterpreter
         } else if (cmd == "sync") {
             rt_->synchronize();
         } else if (cmd == "gpu_memory" || cmd == "link" ||
-                   cmd == "policy" || cmd == "occupy") {
+                   cmd == "policy" || cmd == "occupy" ||
+                   cmd == "copy_engines" || cmd == "coalesce") {
             scriptError(line_no,
                         "configuration directives must precede all "
                         "operations");

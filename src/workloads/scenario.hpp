@@ -9,6 +9,8 @@
  *     link pcie4                # pcie3 | pcie4 | nvlink
  *     policy lru                # lru | fifo | random
  *     occupy 128MB              # oversubscription occupier
+ *     copy_engines 2            # DMA copy engines per direction
+ *     coalesce on               # on | off: DMA descriptor coalescing
  *     alloc A 64MB              # cudaMallocManaged
  *     host_write A              # host touches the whole buffer
  *     prefetch A gpu            # cudaMemPrefetchAsync (gpu | cpu)

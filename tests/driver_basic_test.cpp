@@ -279,6 +279,40 @@ TEST_F(DriverTest, DumpStatsListsKeyCounters)
     EXPECT_NE(s.find("gpu0.link.bytes_h2d"), std::string::npos);
     EXPECT_NE(s.find("gpu0.chunks.allocated 1"), std::string::npos);
     EXPECT_NE(s.find("gpu0.queue.used 1"), std::string::npos);
+    EXPECT_NE(s.find("gpu0.link.dma_h2d.0.busy"), std::string::npos);
+    EXPECT_NE(s.find("uvm.dma_descriptors"), std::string::npos);
+}
+
+TEST_F(DriverTest, DumpStatsJsonIsBalancedAndListsKeyCounters)
+{
+    mem::VirtAddr a = drv_.allocManaged(kBigPageSize, "a");
+    t_ = drv_.hostAccess(a, kBigPageSize, AccessKind::kWrite, t_);
+    t_ = drv_.prefetch(a, kBigPageSize, ProcessorId::gpu(0), t_);
+    std::ostringstream os;
+    drv_.dumpStatsJson(os);
+    std::string s = os.str();
+
+    EXPECT_NE(s.find("\"uvm\""), std::string::npos);
+    EXPECT_NE(s.find("\"dma_descriptors\":1"), std::string::npos);
+    EXPECT_NE(s.find("\"bytes_h2d.prefetch\""), std::string::npos);
+    EXPECT_NE(s.find("\"gpus\""), std::string::npos);
+    EXPECT_NE(s.find("\"copy_engines\""), std::string::npos);
+    EXPECT_NE(s.find("\"busy\""), std::string::npos);
+    EXPECT_NE(s.find("\"peer\""), std::string::npos);
+
+    // Structurally sound: braces/brackets balance and never go
+    // negative (no string values contain braces, so counting works).
+    int depth = 0;
+    for (char c : s) {
+        if (c == '{' || c == '[')
+            ++depth;
+        if (c == '}' || c == ']')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(s.find(",,"), std::string::npos);
+    EXPECT_EQ(s.find("{,"), std::string::npos);
 }
 
 }  // namespace
