@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ablation of the fault-recovery machinery: radix sort under injected
+ * DMA descriptor faults at rates {0, 1e-4, 1e-3}, with two recovery
+ * configurations:
+ *
+ *   retry-only       — transient DMA faults are re-issued with
+ *                      exponential backoff; no pages leave service.
+ *   retry+retirement — the same, plus ECC chunk retirement (bad 2 MB
+ *                      chunks are drained and removed from the
+ *                      allocator, shrinking usable capacity).
+ *
+ * Reported: runtime overhead versus the fault-free baseline of the
+ * same configuration, plus the observable recovery work (retries,
+ * retired pages).  Data integrity is the workloads' own concern — the
+ * chaos/fault-injection tests assert it; this harness quantifies the
+ * *cost* of surviving.
+ */
+
+#include "bench_util.hpp"
+#include "workloads/radix_sort.hpp"
+
+int
+main()
+{
+    using namespace uvmd;
+    using namespace uvmd::bench;
+    using namespace uvmd::workloads;
+
+    banner("Ablation: fault recovery cost (radix sort, PCIe-4)");
+
+    // A smaller payload than Tables 5/6 keeps the grid quick while
+    // still pushing tens of thousands of DMA descriptors through the
+    // injector at the 1e-3 point.
+    RadixParams params;
+    params.data_bytes = 400'000'000;
+    params.passes = 4;
+    params.ovsp_ratio = 1.25;
+
+    const double rates[] = {0.0, 1e-4, 1e-3};
+    struct Mode {
+        const char *name;
+        double retire_rate;
+    };
+    // The ECC roll happens once per driver entry point (kernel or
+    // prefetch), not per descriptor; radix makes only a few dozen of
+    // those, so 0.1 per call retires a handful of chunks per run.
+    const Mode modes[] = {{"retry-only", 0.0},
+                          {"retry+retirement", 0.1}};
+
+    trace::Table table("UvmDiscard, 125% oversubscription");
+    table.header({"Recovery", "DMA fault rate", "Runtime (ms)",
+                  "Overhead (%)", "Retries", "Pages retired"});
+    for (const Mode &mode : modes) {
+        double baseline_ms = 0.0;
+        for (double rate : rates) {
+            uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+            if (rate > 0.0) {
+                cfg.faults.enabled = true;
+                cfg.faults.seed = 42;
+                cfg.faults.dma_fault_rate = rate;
+                cfg.faults.dma_max_retries = 16;
+                cfg.faults.chunk_retire_rate = mode.retire_rate;
+                cfg.faults.chunk_retire_floor = 8;
+            }
+            RunResult r =
+                runRadixSort(System::kUvmDiscard, params,
+                             interconnect::LinkSpec::pcie4(), cfg);
+            double ms = sim::toMilliseconds(r.elapsed);
+            if (rate == 0.0)
+                baseline_ms = ms;
+            double overhead =
+                baseline_ms > 0.0
+                    ? 100.0 * (ms - baseline_ms) / baseline_ms
+                    : 0.0;
+            table.row({mode.name,
+                       rate == 0.0 ? "0 (baseline)" : trace::fmt(rate, 6),
+                       trace::fmt(ms, 1), trace::fmt(overhead, 2),
+                       std::to_string(r.transfer_retries),
+                       std::to_string(r.pages_retired)});
+        }
+    }
+    table.print();
+    table.writeCsv("ablation_fault_recovery.csv");
+
+    std::printf("\nExpected: retry overhead scales with the fault "
+                "rate but stays small (a retried descriptor costs one "
+                "backoff plus its own reissue); retirement adds "
+                "capacity pressure on top, so the retry+retirement "
+                "rows pay extra eviction traffic as chunks leave "
+                "service.\n");
+    return 0;
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: build the default and sanitized trees, then run
+#
+#   1. the tier-1 suite (default build, all tests),
+#   2. the chaos suite explicitly (label `chaos`: randomized fault
+#      schedules against a fault-free reference),
+#   3. the sanitized suite (asan+ubsan build, label `sanitized`).
+#
+# Usage: scripts/ci.sh [-j N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+while getopts "j:" opt; do
+    case "$opt" in
+      j) JOBS="$OPTARG" ;;
+      *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+    esac
+done
+
+echo "== configure + build (default) =="
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+
+echo "== configure + build (asan) =="
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS"
+
+echo "== tier-1 tests (default build) =="
+ctest --preset default -j "$JOBS"
+
+echo "== chaos tests (default build) =="
+ctest --test-dir build -L chaos --output-on-failure -j "$JOBS"
+
+echo "== sanitized tests (asan build) =="
+ctest --preset asan -j "$JOBS"
+
+echo "CI: all suites passed."

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Recoverable CUDA-style error codes.
+ *
+ * The simulation historically treated every user mistake as fatal.
+ * Production runtimes do not: allocation failure, invalid ranges and
+ * double frees come back as error codes the application can handle.
+ * The `try*` Runtime entry points and the async-op validation return
+ * these; genuine internal invariant violations stay fatal/panic.
+ */
+
+#ifndef UVMD_CUDA_ERROR_HPP
+#define UVMD_CUDA_ERROR_HPP
+
+namespace uvmd::cuda {
+
+enum class CudaError {
+    kSuccess = 0,
+    kErrorMemoryAllocation,  ///< cudaErrorMemoryAllocation
+    kErrorInvalidValue,      ///< cudaErrorInvalidValue
+};
+
+inline const char *
+toString(CudaError err)
+{
+    switch (err) {
+    case CudaError::kSuccess: return "cudaSuccess";
+    case CudaError::kErrorMemoryAllocation:
+        return "cudaErrorMemoryAllocation";
+    case CudaError::kErrorInvalidValue: return "cudaErrorInvalidValue";
+    }
+    return "?";
+}
+
+}  // namespace uvmd::cuda
+
+#endif  // UVMD_CUDA_ERROR_HPP

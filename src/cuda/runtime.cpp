@@ -39,6 +39,15 @@ Runtime::freeManaged(mem::VirtAddr addr)
     driver_.freeManaged(addr);
 }
 
+CudaError
+Runtime::tryFreeManaged(mem::VirtAddr addr)
+{
+    synchronize();
+    host_time_ += apiCost(ApiOp::kCudaFreeManaged, 0);
+    return driver_.tryFreeManaged(addr) ? CudaError::kSuccess
+                                        : CudaError::kErrorInvalidValue;
+}
+
 mem::VirtAddr
 Runtime::mallocDevice(sim::Bytes size, std::string name,
                       uvm::GpuId gpu)
@@ -55,6 +64,23 @@ Runtime::mallocDevice(sim::Bytes size, std::string name,
     return addr;
 }
 
+CudaError
+Runtime::tryMallocDevice(sim::Bytes size, std::string name,
+                         mem::VirtAddr *out, uvm::GpuId gpu)
+{
+    host_time_ += apiCost(ApiOp::kCudaMalloc, size);
+    if (!driver_.tryReserveGpuMemory(gpu, size))
+        return CudaError::kErrorMemoryAllocation;
+    mem::VirtAddr addr = next_device_addr_;
+    next_device_addr_ += mem::alignUp(size, mem::kBigPageSize) +
+                         mem::kBigPageSize;
+    device_buffers_.emplace(addr,
+                            DeviceBuffer{size, gpu, std::move(name)});
+    if (out)
+        *out = addr;
+    return CudaError::kSuccess;
+}
+
 void
 Runtime::freeDevice(mem::VirtAddr addr)
 {
@@ -64,6 +90,18 @@ Runtime::freeDevice(mem::VirtAddr addr)
     host_time_ += apiCost(ApiOp::kCudaFree, it->second.size);
     driver_.unreserveGpuMemory(it->second.gpu, it->second.size);
     device_buffers_.erase(it);
+}
+
+CudaError
+Runtime::tryFreeDevice(mem::VirtAddr addr)
+{
+    auto it = device_buffers_.find(addr);
+    if (it == device_buffers_.end())
+        return CudaError::kErrorInvalidValue;
+    host_time_ += apiCost(ApiOp::kCudaFree, it->second.size);
+    driver_.unreserveGpuMemory(it->second.gpu, it->second.size);
+    device_buffers_.erase(it);
+    return CudaError::kSuccess;
 }
 
 // ----------------------------------------------------------------
@@ -87,17 +125,30 @@ Runtime::enqueue(StreamId stream, StreamOp op)
     pump(stream);
 }
 
-void
+bool
+Runtime::validManagedSpan(mem::VirtAddr addr, sim::Bytes size)
+{
+    uvm::VaRange *range = driver_.vaSpace().rangeOf(addr);
+    return range && addr + size <= range->base + range->size;
+}
+
+CudaError
 Runtime::prefetchAsync(mem::VirtAddr addr, sim::Bytes size,
                        uvm::ProcessorId dst, StreamId stream)
 {
+    // The issue cost is paid even when validation rejects the call:
+    // the API crossing happens either way.
     host_time_ += apiCost(ApiOp::kApiIssue, size);
+    if (!validManagedSpan(addr, size) || stream < 0 ||
+        stream >= static_cast<StreamId>(streams_.size()))
+        return CudaError::kErrorInvalidValue;
     StreamOp op;
     op.type = StreamOp::Type::kPrefetch;
     op.addr = addr;
     op.size = size;
     op.dst = dst;
     enqueue(stream, std::move(op));
+    return CudaError::kSuccess;
 }
 
 void
@@ -109,17 +160,21 @@ Runtime::memAdvise(mem::VirtAddr addr, sim::Bytes size,
     driver_.memAdvise(addr, size, advice, gpu);
 }
 
-void
+CudaError
 Runtime::discardAsync(mem::VirtAddr addr, sim::Bytes size,
                       uvm::DiscardMode mode, StreamId stream)
 {
     host_time_ += apiCost(ApiOp::kApiIssue, size);
+    if (!validManagedSpan(addr, size) || stream < 0 ||
+        stream >= static_cast<StreamId>(streams_.size()))
+        return CudaError::kErrorInvalidValue;
     StreamOp op;
     op.type = StreamOp::Type::kDiscard;
     op.addr = addr;
     op.size = size;
     op.mode = mode;
     enqueue(stream, std::move(op));
+    return CudaError::kSuccess;
 }
 
 void
@@ -220,8 +275,15 @@ Runtime::executeOp(StreamOp &op, sim::SimTime t0)
 {
     switch (op.type) {
       case StreamOp::Type::kKernel: {
-        sim::SimTime mem_done =
-            driver_.gpuAccess(op.gpu, op.kernel.accesses, t0);
+        sim::SimTime mem_done;
+        try {
+            mem_done = driver_.gpuAccess(op.gpu, op.kernel.accesses, t0);
+        } catch (const uvm::GpuOomError &) {
+            // Asynchronous failure: the launch already returned, so
+            // the error becomes sticky, like cudaGetLastError.
+            last_error_ = CudaError::kErrorMemoryAllocation;
+            return t0;
+        }
         sim::SimTime compute_done =
             compute_engines_[op.gpu]->reserve(t0, op.kernel.compute);
         if (op.kernel.body)
@@ -229,7 +291,12 @@ Runtime::executeOp(StreamOp &op, sim::SimTime t0)
         return std::max(mem_done, compute_done);
       }
       case StreamOp::Type::kPrefetch:
-        return driver_.prefetch(op.addr, op.size, op.dst, t0);
+        try {
+            return driver_.prefetch(op.addr, op.size, op.dst, t0);
+        } catch (const uvm::GpuOomError &) {
+            last_error_ = CudaError::kErrorMemoryAllocation;
+            return t0;
+        }
       case StreamOp::Type::kDiscard:
         return driver_.discard(op.addr, op.size, op.mode,
                                t0 + apiCost(ApiOp::kDiscardEntry,

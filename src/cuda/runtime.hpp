@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cuda/api_cost.hpp"
+#include "cuda/error.hpp"
 #include "cuda/stream.hpp"
 #include "interconnect/link.hpp"
 #include "sim/event_queue.hpp"
@@ -53,14 +54,28 @@ class Runtime
     /** cudaFree of a managed pointer. */
     void freeManaged(mem::VirtAddr addr);
 
+    /** Like freeManaged(), but a bad pointer (unknown range or a
+     *  double free) returns kErrorInvalidValue instead of dying. */
+    CudaError tryFreeManaged(mem::VirtAddr addr);
+
     /** cudaMalloc: an explicit device buffer (No-UVM path).  Fails
      *  fatally when the device is out of memory — the Listing-4
      *  failure mode. */
     mem::VirtAddr mallocDevice(sim::Bytes size, std::string name,
                                uvm::GpuId gpu = 0);
 
+    /** Like mallocDevice(), but an out-of-memory device returns
+     *  kErrorMemoryAllocation (with @p out untouched) instead of
+     *  dying — the checked Listing-4 variant. */
+    CudaError tryMallocDevice(sim::Bytes size, std::string name,
+                              mem::VirtAddr *out, uvm::GpuId gpu = 0);
+
     /** cudaFree of a device pointer. */
     void freeDevice(mem::VirtAddr addr);
+
+    /** Like freeDevice(), but an unknown pointer (or double free)
+     *  returns kErrorInvalidValue instead of dying. */
+    CudaError tryFreeDevice(mem::VirtAddr addr);
 
     // ------------------------------------------------------------
     // Asynchronous stream operations
@@ -69,17 +84,20 @@ class Runtime
     /** Create an additional stream (stream 0 always exists). */
     StreamId createStream();
 
-    /** cudaMemPrefetchAsync. */
-    void prefetchAsync(mem::VirtAddr addr, sim::Bytes size,
-                       uvm::ProcessorId dst, StreamId stream = 0);
+    /** cudaMemPrefetchAsync.  @return kErrorInvalidValue (without
+     *  enqueuing) when [addr, addr+size) is not within one managed
+     *  range or the stream is unknown. */
+    CudaError prefetchAsync(mem::VirtAddr addr, sim::Bytes size,
+                            uvm::ProcessorId dst, StreamId stream = 0);
 
     /** cudaMemAdvise (synchronous hint; see uvm::MemAdvise). */
     void memAdvise(mem::VirtAddr addr, sim::Bytes size,
                    uvm::MemAdvise advice, uvm::GpuId gpu = 0);
 
-    /** UvmDiscardAsync / UvmDiscardLazyAsync (paper Section 4). */
-    void discardAsync(mem::VirtAddr addr, sim::Bytes size,
-                      uvm::DiscardMode mode, StreamId stream = 0);
+    /** UvmDiscardAsync / UvmDiscardLazyAsync (paper Section 4).
+     *  Same validation contract as prefetchAsync. */
+    CudaError discardAsync(mem::VirtAddr addr, sim::Bytes size,
+                           uvm::DiscardMode mode, StreamId stream = 0);
 
     /** Kernel launch. */
     void launch(KernelDesc kernel, StreamId stream = 0,
@@ -148,6 +166,19 @@ class Runtime
 
     uvm::UvmDriver &driver() { return driver_; }
 
+    /** Sticky error from asynchronously-executed work (e.g. a kernel
+     *  that hit true memory exhaustion), like cudaPeekAtLastError. */
+    CudaError lastError() const { return last_error_; }
+
+    /** Read and clear the sticky error (cudaGetLastError). */
+    CudaError
+    getLastError()
+    {
+        CudaError err = last_error_;
+        last_error_ = CudaError::kSuccess;
+        return err;
+    }
+
     /** Host-thread wall clock (== total elapsed after synchronize). */
     sim::SimTime now() const { return host_time_; }
 
@@ -157,6 +188,9 @@ class Runtime
     }
 
   private:
+    /** Is [addr, addr+size) contained in one managed range? */
+    bool validManagedSpan(mem::VirtAddr addr, sim::Bytes size);
+
     void enqueue(StreamId stream, StreamOp op);
 
     /** Schedule a dispatch for @p stream if it has runnable work. */
@@ -172,6 +206,7 @@ class Runtime
     std::vector<std::unique_ptr<sim::Resource>> compute_engines_;
 
     sim::SimTime host_time_ = 0;
+    CudaError last_error_ = CudaError::kSuccess;
     std::vector<StreamState> streams_;
     std::vector<EventState> events_;
 

@@ -16,6 +16,22 @@ DmaScheduler::DmaScheduler(const LinkSpec &spec, int engines_per_dir)
         h2d_engines_.emplace_back("dma_h2d." + std::to_string(i));
         d2h_engines_.emplace_back("dma_d2h." + std::to_string(i));
     }
+    h2d_offline_.assign(h2d_engines_.size(), false);
+    d2h_offline_.assign(d2h_engines_.size(), false);
+}
+
+std::vector<bool> &
+DmaScheduler::offlineLane(Direction dir)
+{
+    return dir == Direction::kHostToDevice ? h2d_offline_
+                                           : d2h_offline_;
+}
+
+const std::vector<bool> &
+DmaScheduler::offlineLane(Direction dir) const
+{
+    return dir == Direction::kHostToDevice ? h2d_offline_
+                                           : d2h_offline_;
 }
 
 std::vector<sim::Resource> &
@@ -36,11 +52,17 @@ std::uint32_t
 DmaScheduler::pickEngine(Direction dir) const
 {
     const std::vector<sim::Resource> &engines = lane(dir);
-    std::uint32_t best = 0;
-    for (std::uint32_t i = 1; i < engines.size(); ++i) {
-        if (engines[i].freeAt() < engines[best].freeAt())
+    const std::vector<bool> &offline = offlineLane(dir);
+    std::uint32_t best = engines.size();
+    for (std::uint32_t i = 0; i < engines.size(); ++i) {
+        if (offline[i])
+            continue;
+        if (best == engines.size() ||
+            engines[i].freeAt() < engines[best].freeAt())
             best = i;
     }
+    if (best == engines.size())
+        sim::panic("DmaScheduler: no online copy engine");
     return best;
 }
 
@@ -52,14 +74,75 @@ DmaScheduler::issueOn(std::uint32_t engine, Direction dir,
     std::vector<sim::Resource> &engines = lane(dir);
     if (engine >= engines.size())
         sim::panic("DmaScheduler: bad engine index");
+    if (offlineLane(dir)[engine])
+        sim::panic("DmaScheduler: issue on an offline engine");
     sim::SimDuration duration =
         new_descriptors * spec_.setup +
-        sim::transferTime(bytes, spec_.peak_gbps);
+        sim::transferTime(bytes, spec_.peak_gbps * bandwidth_factor_);
     if (dir == Direction::kHostToDevice)
         h2d_descriptors_ += new_descriptors;
     else
         d2h_descriptors_ += new_descriptors;
     return engines[engine].reserve(earliest, duration);
+}
+
+sim::SimTime
+DmaScheduler::retryOn(std::uint32_t engine, Direction dir,
+                      sim::SimTime earliest, sim::Bytes bytes)
+{
+    std::vector<sim::Resource> &engines = lane(dir);
+    if (engine >= engines.size())
+        sim::panic("DmaScheduler: bad engine index");
+    if (offlineLane(dir)[engine])
+        sim::panic("DmaScheduler: retry on an offline engine");
+    sim::SimDuration duration =
+        spec_.setup +
+        sim::transferTime(bytes, spec_.peak_gbps * bandwidth_factor_);
+    return engines[engine].reserve(earliest, duration);
+}
+
+bool
+DmaScheduler::setEngineOffline(Direction dir, std::uint32_t index,
+                               sim::SimTime now)
+{
+    std::vector<sim::Resource> &engines = lane(dir);
+    std::vector<bool> &offline = offlineLane(dir);
+    if (index >= engines.size() || offline[index])
+        return false;
+    if (onlineEngines(dir) <= 1)
+        return false;  // never strand a direction with no engine
+    offline[index] = true;
+    // Reschedule the queued backlog onto the least-loaded survivor.
+    sim::SimDuration backlog = engines[index].freeAt() - now;
+    if (backlog > 0) {
+        std::uint32_t survivor = pickEngine(dir);
+        engines[survivor].reserve(now, backlog);
+    }
+    return true;
+}
+
+bool
+DmaScheduler::engineOffline(Direction dir, std::uint32_t index) const
+{
+    const std::vector<bool> &offline = offlineLane(dir);
+    return index < offline.size() && offline[index];
+}
+
+int
+DmaScheduler::onlineEngines(Direction dir) const
+{
+    int online = 0;
+    for (bool off : offlineLane(dir))
+        online += off ? 0 : 1;
+    return online;
+}
+
+void
+DmaScheduler::scaleBandwidth(double factor)
+{
+    if (factor <= 0.0 || factor > 1.0)
+        sim::panic("DmaScheduler: bandwidth factor must be in (0, 1]");
+    bandwidth_factor_ *= factor;
 }
 
 sim::Resource &
@@ -94,6 +177,9 @@ DmaScheduler::reset()
         r.reset();
     for (sim::Resource &r : d2h_engines_)
         r.reset();
+    h2d_offline_.assign(h2d_engines_.size(), false);
+    d2h_offline_.assign(d2h_engines_.size(), false);
+    bandwidth_factor_ = 1.0;
     h2d_descriptors_ = 0;
     d2h_descriptors_ = 0;
 }

@@ -40,7 +40,8 @@ class DmaScheduler
     int enginesPerDir() const { return engines_per_dir_; }
 
     /** Engine of @p dir that can start new work earliest (ties go to
-     *  the lowest index, so one engine reproduces a single queue). */
+     *  the lowest index, so one engine reproduces a single queue).
+     *  Offline engines are never picked. */
     std::uint32_t pickEngine(Direction dir) const;
 
     /**
@@ -66,6 +67,49 @@ class DmaScheduler
                        new_descriptors);
     }
 
+    /**
+     * Re-issue one failed descriptor of @p bytes on @p engine: pays
+     * the per-transfer setup again plus the wire time at the current
+     * (possibly degraded) bandwidth.  Descriptor counts are not
+     * bumped — a retry is the same descriptor, tried again; the
+     * caller accounts retries separately.
+     * @return completion time.
+     */
+    sim::SimTime retryOn(std::uint32_t engine, Direction dir,
+                         sim::SimTime earliest, sim::Bytes bytes);
+
+    // ---- Fault handling (degradation and engine loss) ----
+
+    /**
+     * Take one copy engine offline at @p now.  Its queued backlog
+     * (busy time scheduled past @p now) is rescheduled onto the
+     * least-loaded surviving engine of the same direction, and the
+     * engine is excluded from all future picks.
+     * @return false (no change) when the index is out of range, the
+     *         engine is already offline, or it is the last online
+     *         engine of its direction.
+     */
+    bool setEngineOffline(Direction dir, std::uint32_t index,
+                          sim::SimTime now);
+
+    bool engineOffline(Direction dir, std::uint32_t index) const;
+
+    /** Online engines in @p dir (>= 1 always). */
+    int onlineEngines(Direction dir) const;
+
+    /** Degrade effective bandwidth by @p factor in (0, 1]; factors
+     *  from repeated events compound. */
+    void scaleBandwidth(double factor);
+
+    /** Current cumulative bandwidth factor (1.0 = undegraded). */
+    double bandwidthFactor() const { return bandwidth_factor_; }
+
+    /** Effective peak bandwidth after degradation, GB/s. */
+    double effectiveGbps() const
+    {
+        return spec_.peak_gbps * bandwidth_factor_;
+    }
+
     sim::Resource &engineAt(Direction dir, std::uint32_t index);
     const sim::Resource &engineAt(Direction dir,
                                   std::uint32_t index) const;
@@ -86,10 +130,16 @@ class DmaScheduler
     std::vector<sim::Resource> &lane(Direction dir);
     const std::vector<sim::Resource> &lane(Direction dir) const;
 
+    std::vector<bool> &offlineLane(Direction dir);
+    const std::vector<bool> &offlineLane(Direction dir) const;
+
     LinkSpec spec_;
     int engines_per_dir_;
     std::vector<sim::Resource> h2d_engines_;
     std::vector<sim::Resource> d2h_engines_;
+    std::vector<bool> h2d_offline_;
+    std::vector<bool> d2h_offline_;
+    double bandwidth_factor_ = 1.0;
     std::uint64_t h2d_descriptors_ = 0;
     std::uint64_t d2h_descriptors_ = 0;
 };

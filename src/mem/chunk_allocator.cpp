@@ -14,11 +14,19 @@ ChunkAllocator::ChunkAllocator(sim::Bytes capacity)
 void
 ChunkAllocator::reserve(sim::Bytes bytes)
 {
-    std::uint64_t chunks = alignUp(bytes, kBigPageSize) / kBigPageSize;
-    if (chunks > freeChunks())
+    if (!tryReserve(bytes))
         sim::fatal("ChunkAllocator: occupier reservation exceeds free "
                    "GPU memory");
+}
+
+bool
+ChunkAllocator::tryReserve(sim::Bytes bytes)
+{
+    std::uint64_t chunks = alignUp(bytes, kBigPageSize) / kBigPageSize;
+    if (chunks > freeChunks())
+        return false;
     reserved_chunks_ += chunks;
+    return true;
 }
 
 void
@@ -47,6 +55,16 @@ ChunkAllocator::freeChunk()
         sim::panic("ChunkAllocator: free with no allocated chunks");
     --allocated_chunks_;
     stats_.counter("chunk_frees").inc();
+}
+
+void
+ChunkAllocator::retireAllocatedChunk()
+{
+    if (allocated_chunks_ == 0)
+        sim::panic("ChunkAllocator: retire with no allocated chunks");
+    --allocated_chunks_;
+    ++retired_chunks_;
+    stats_.counter("chunks_retired").inc();
 }
 
 }  // namespace uvmd::mem

@@ -39,11 +39,15 @@ class ChunkAllocator
     /** Chunks pinned by reserve() (the oversubscription occupier). */
     std::uint64_t reservedChunks() const { return reserved_chunks_; }
 
+    /** Chunks permanently retired after ECC-style failures. */
+    std::uint64_t retiredChunks() const { return retired_chunks_; }
+
     /** Chunks on the free queue. */
     std::uint64_t
     freeChunks() const
     {
-        return total_chunks_ - allocated_chunks_ - reserved_chunks_;
+        return total_chunks_ - allocated_chunks_ - reserved_chunks_ -
+               retired_chunks_;
     }
 
     sim::Bytes
@@ -55,7 +59,8 @@ class ChunkAllocator
     sim::Bytes
     usableBytes() const
     {
-        return (total_chunks_ - reserved_chunks_) * kBigPageSize;
+        return (total_chunks_ - reserved_chunks_ - retired_chunks_) *
+               kBigPageSize;
     }
 
     /**
@@ -64,6 +69,11 @@ class ChunkAllocator
      * does not fit in currently-free memory.
      */
     void reserve(sim::Bytes bytes);
+
+    /** Like reserve(), but reports an oversized reservation instead
+     *  of failing fatally.  @return false with no state change when
+     *  the reservation does not fit in currently-free memory. */
+    bool tryReserve(sim::Bytes bytes);
 
     /** Release a previous reservation of @p bytes. */
     void unreserve(sim::Bytes bytes);
@@ -77,13 +87,24 @@ class ChunkAllocator
     /** Return one chunk to the free queue. */
     void freeChunk();
 
-    /** Allocation statistics (chunk_allocs, chunk_frees). */
+    /**
+     * Permanently retire one currently-allocated chunk (ECC-style
+     * page failure).  The chunk leaves the allocated set and joins
+     * the retired set, shrinking usable capacity; it never returns
+     * to the free queue.  The caller must already have migrated any
+     * resident data off the chunk.
+     */
+    void retireAllocatedChunk();
+
+    /** Allocation statistics (chunk_allocs, chunk_frees,
+     *  chunks_retired). */
     const sim::StatGroup &stats() const { return stats_; }
 
   private:
     std::uint64_t total_chunks_;
     std::uint64_t allocated_chunks_ = 0;
     std::uint64_t reserved_chunks_ = 0;
+    std::uint64_t retired_chunks_ = 0;
     sim::StatGroup stats_;
 };
 

@@ -60,6 +60,30 @@ TransferLog::onFree(const uvm::VaBlock &b, const uvm::PageMask &p)
          uvm::TransferCause::kEviction);
 }
 
+void
+TransferLog::onFault(uvm::FaultEvent e, mem::VirtAddr base,
+                     std::uint32_t pages)
+{
+    Event kind = Event::kFault;
+    switch (e) {
+      case uvm::FaultEvent::kDmaRetry:
+        kind = Event::kRetry;
+        break;
+      case uvm::FaultEvent::kChunkRetired:
+        kind = Event::kRetirement;
+        break;
+      case uvm::FaultEvent::kOomFallback:
+        kind = Event::kOomFallback;
+        break;
+      default:
+        break;
+    }
+    Entry entry{next_ordinal_++, kind, base, pages,
+                interconnect::Direction::kDeviceToHost,
+                uvm::TransferCause::kEviction, e};
+    entries_.push_back(entry);
+}
+
 std::vector<TransferLog::Entry>
 TransferLog::entriesFor(mem::VirtAddr addr) const
 {
@@ -86,6 +110,14 @@ TransferLog::toString(Event e)
         return "free";
       case Event::kAccess:
         return "access";
+      case Event::kFault:
+        return "fault";
+      case Event::kRetry:
+        return "retry";
+      case Event::kRetirement:
+        return "retirement";
+      case Event::kOomFallback:
+        return "oom_fallback";
     }
     return "?";
 }
@@ -100,12 +132,20 @@ TransferLog::writeCsv(const std::string &path) const
     }
     std::fprintf(f, "ordinal,event,block,pages,direction,cause\n");
     for (const Entry &e : entries_) {
+        bool is_fault = e.event == Event::kFault ||
+                        e.event == Event::kRetry ||
+                        e.event == Event::kRetirement ||
+                        e.event == Event::kOomFallback;
+        // Fault-class entries carry the fault detail where transfers
+        // carry their cause; the column stays a plain string either
+        // way, so the 6-column shape is preserved.
         std::fprintf(f, "%llu,%s,0x%llx,%u,%s,%s\n",
                      static_cast<unsigned long long>(e.ordinal),
                      toString(e.event),
                      static_cast<unsigned long long>(e.block_base),
                      e.pages, interconnect::toString(e.dir),
-                     uvm::toString(e.cause));
+                     is_fault ? uvm::toString(e.fault)
+                              : uvm::toString(e.cause));
     }
     std::fclose(f);
 }

@@ -64,6 +64,14 @@ class ObserverMux : public uvm::TransferObserver
             o->onFree(b, p);
     }
 
+    void
+    onFault(uvm::FaultEvent e, mem::VirtAddr base,
+            std::uint32_t pages) override
+    {
+        for (auto *o : observers_)
+            o->onFault(e, base, pages);
+    }
+
   private:
     std::vector<uvm::TransferObserver *> observers_;
 };
@@ -78,6 +86,10 @@ class TransferLog : public uvm::TransferObserver
         kDiscard,
         kFree,
         kAccess,
+        kFault,       ///< an injected fault fired (DMA, alloc, link)
+        kRetry,       ///< a failed DMA descriptor was re-issued
+        kRetirement,  ///< an ECC-bad chunk left service
+        kOomFallback, ///< exhaustion served via remote access
     };
 
     struct Entry {
@@ -87,6 +99,8 @@ class TransferLog : public uvm::TransferObserver
         std::uint32_t pages;
         interconnect::Direction dir;   // transfers/skips only
         uvm::TransferCause cause;      // transfers/skips only
+        /** Detail for fault-class events (meaningless otherwise). */
+        uvm::FaultEvent fault = uvm::FaultEvent::kDmaFault;
     };
 
     /** @param log_accesses also record one entry per access batch
@@ -107,6 +121,8 @@ class TransferLog : public uvm::TransferObserver
     void onDiscard(const uvm::VaBlock &b,
                    const uvm::PageMask &p) override;
     void onFree(const uvm::VaBlock &b, const uvm::PageMask &p) override;
+    void onFault(uvm::FaultEvent e, mem::VirtAddr base,
+                 std::uint32_t pages) override;
 
     const std::vector<Entry> &entries() const { return entries_; }
     std::size_t size() const { return entries_.size(); }

@@ -24,7 +24,8 @@ sim::SimTime
 UvmDriver::gpuAccess(GpuId id, const std::vector<Access> &accesses,
                      sim::SimTime start)
 {
-    sim::SimTime t = start;
+    // Injected ECC chunk failures surface at driver entry points.
+    sim::SimTime t = maybeInjectChunkFault(start);
     // Faults raised while this kernel runs accumulate in the GPU's
     // replayable fault buffer and are drained in batches; the fill
     // level is shared across the kernel's whole access walk.  The
@@ -99,8 +100,42 @@ UvmDriver::gpuTouchBlock(VaBlock &block, const PageMask &m,
     t += cfg_.gpu_fault_service + cfg_.gpu_fault_stall;
 
     PageMask missing = m & ~resident_here;
-    if (missing.any())
-        t = migrateToGpu(block, missing, id, TransferCause::kGpuFault, t);
+    if (missing.any()) {
+        try {
+            t = migrateToGpu(block, missing, id,
+                             TransferCause::kGpuFault, t);
+        } catch (const GpuOomError &) {
+            // Section 2.3 degradation: when configured, an exhausted
+            // GPU serves the access in place from host-resident pages
+            // instead of failing the kernel.  Only a fully host-side
+            // block can be remote-served; otherwise the error
+            // propagates to the runtime as cudaErrorMemoryAllocation.
+            if (!cfg_.faults.oom_remote_fallback || block.has_gpu_chunk)
+                throw;
+            PageMask unpop = m & ~block.populated();
+            if (unpop.any()) {
+                // First touch under exhaustion: zero-filled host pages.
+                block.resident_cpu |= unpop;
+                block.cpu_pages_present |= unpop;
+                t += cfg_.cpu_fault_cost;
+                if (backing_.enabled()) {
+                    mem::forEachSetPage(unpop, [&](std::uint32_t p) {
+                        backing_.zeroPage(
+                            block.base + p * mem::kSmallPageSize,
+                            mem::CopySlot::kHost);
+                    });
+                }
+            }
+            block.discarded &= ~m;
+            block.discarded_lazily &= ~m;
+            counters_.counter("oom_fallbacks").inc();
+            if (observer_)
+                observer_->onFault(
+                    FaultEvent::kOomFallback, block.base,
+                    static_cast<std::uint32_t>(m.count()));
+            return remoteTouchBlock(block, m, kind, id, t);
+        }
+    }
 
     // Pages that stayed resident but were discarded and unmapped
     // (eager discard with a surviving chunk): the fault tells the

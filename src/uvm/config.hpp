@@ -17,6 +17,7 @@
 
 #include <cstdint>
 
+#include "sim/fault_injector.hpp"
 #include "sim/time.hpp"
 
 namespace uvmd::uvm {
@@ -153,6 +154,10 @@ struct UvmConfig {
 
     /** Seed for the kRandom eviction policy. */
     std::uint64_t eviction_seed = 42;
+
+    /** Fault-injection plan (disabled by default; when disabled the
+     *  simulation is bit-identical to a build without the injector). */
+    sim::FaultPlan faults;
 
     /** The 3080Ti/Ryzen-3900X platform of Section 7.1. */
     static UvmConfig rtx3080ti();

@@ -22,10 +22,33 @@ toString(TransferCause cause)
     return "?";
 }
 
+const char *
+toString(FaultEvent event)
+{
+    switch (event) {
+      case FaultEvent::kDmaFault:
+        return "dma_fault";
+      case FaultEvent::kDmaRetry:
+        return "dma_retry";
+      case FaultEvent::kChunkRetired:
+        return "chunk_retired";
+      case FaultEvent::kAllocFail:
+        return "alloc_fail";
+      case FaultEvent::kOomFallback:
+        return "oom_fallback";
+      case FaultEvent::kLinkDegraded:
+        return "link_degraded";
+      case FaultEvent::kEngineOffline:
+        return "engine_offline";
+    }
+    return "?";
+}
+
 UvmDriver::UvmDriver(const UvmConfig &cfg,
                      interconnect::LinkSpec link_spec,
                      interconnect::LinkSpec peer_spec)
-    : cfg_(cfg), eviction_rng_(cfg.eviction_seed),
+    : cfg_(cfg), injector_(cfg.faults),
+      eviction_rng_(cfg.eviction_seed),
       peer_link_(std::move(peer_spec), cfg.copy_engines_per_dir),
       backing_(cfg.backed)
 {
@@ -38,6 +61,15 @@ UvmDriver::UvmDriver(const UvmConfig &cfg,
     for (auto &g : gpus_)
         xfer_->addGpuLink(&g->link);
     xfer_->setPeerLink(&peer_link_);
+    if (injector_.enabled()) {
+        xfer_->setInjector(&injector_);
+        // Pre-register the recovery counters so dumps and the stats
+        // JSON always carry them under fault injection, fired or not.
+        counters_.counter("fault_injected");
+        counters_.counter("transfer_retries");
+        counters_.counter("pages_retired");
+        counters_.counter("oom_fallbacks");
+    }
 }
 
 UvmDriver::GpuState &
@@ -59,9 +91,16 @@ UvmDriver::allocManaged(sim::Bytes size, std::string name)
 void
 UvmDriver::freeManaged(mem::VirtAddr base)
 {
+    if (!tryFreeManaged(base))
+        sim::fatal("freeManaged: not the base of a managed range");
+}
+
+bool
+UvmDriver::tryFreeManaged(mem::VirtAddr base)
+{
     VaRange *range = va_space_.rangeOf(base);
     if (!range || range->base != base)
-        sim::fatal("freeManaged: not the base of a managed range");
+        return false;
 
     for (auto &bp : range->blocks) {
         VaBlock &block = *bp;
@@ -88,12 +127,19 @@ UvmDriver::freeManaged(mem::VirtAddr base)
     }
     counters_.counter("managed_frees").inc();
     va_space_.destroyRange(base);
+    return true;
 }
 
 void
 UvmDriver::reserveGpuMemory(GpuId id, sim::Bytes bytes)
 {
     gpu(id).allocator.reserve(bytes);
+}
+
+bool
+UvmDriver::tryReserveGpuMemory(GpuId id, sim::Bytes bytes)
+{
+    return gpu(id).allocator.tryReserve(bytes);
 }
 
 void
@@ -228,6 +274,8 @@ UvmDriver::dumpStats(std::ostream &os)
            << g.allocator.allocatedChunks() << "\n";
         os << prefix << "chunks.reserved "
            << g.allocator.reservedChunks() << "\n";
+        os << prefix << "chunks.retired "
+           << g.allocator.retiredChunks() << "\n";
         os << prefix << "queue.unused "
            << g.queues.unusedQueue().size() << "\n";
         os << prefix << "queue.used " << g.queues.usedQueue().size()
@@ -291,7 +339,8 @@ UvmDriver::dumpStatsJson(std::ostream &os)
         g.zero_engine.stats().dumpJson(os);
         os << ",\"chunks\":{\"total\":" << g.allocator.totalChunks()
            << ",\"allocated\":" << g.allocator.allocatedChunks()
-           << ",\"reserved\":" << g.allocator.reservedChunks() << "}"
+           << ",\"reserved\":" << g.allocator.reservedChunks()
+           << ",\"retired\":" << g.allocator.retiredChunks() << "}"
            << ",\"queues\":{\"unused\":"
            << g.queues.unusedQueue().size()
            << ",\"used\":" << g.queues.usedQueue().size()
@@ -366,8 +415,14 @@ UvmDriver::checkInvariants()
         }
     });
     for (std::size_t i = 0; i < gpus_.size(); ++i) {
-        if (chunks[i] != gpus_[i]->allocator.allocatedChunks())
+        const mem::ChunkAllocator &alloc = gpus_[i]->allocator;
+        if (chunks[i] != alloc.allocatedChunks())
             sim::panic("invariant: chunk accounting mismatch");
+        if (alloc.allocatedChunks() + alloc.reservedChunks() +
+                alloc.retiredChunks() >
+            alloc.totalChunks())
+            sim::panic("invariant: chunk capacity exceeded "
+                       "(allocated + reserved + retired > total)");
     }
 }
 

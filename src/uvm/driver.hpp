@@ -38,11 +38,15 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "interconnect/link.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/chunk_allocator.hpp"
 #include "mem/page_queues.hpp"
 #include "mem/zero_engine.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/logging.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
 #include "sim/stats.hpp"
@@ -52,6 +56,26 @@
 #include "uvm/va_space.hpp"
 
 namespace uvmd::uvm {
+
+/**
+ * Thrown when a GPU's memory is truly exhausted: the eviction process
+ * found nothing reclaimable and every configured fallback failed.
+ * Derives from FatalError so legacy catch sites still work; the CUDA
+ * runtime layer catches it and surfaces cudaErrorMemoryAllocation.
+ */
+class GpuOomError : public sim::FatalError
+{
+  public:
+    explicit GpuOomError(GpuId gpu)
+        : sim::FatalError("GPU " + std::to_string(gpu) +
+                          ": memory exhausted and nothing evictable "
+                          "(working set exceeds framebuffer including "
+                          "the occupier reservation)"),
+          gpu_id(gpu)
+    {}
+
+    GpuId gpu_id;
+};
 
 /** How an access touches memory. */
 enum class AccessKind : std::uint8_t { kRead, kWrite, kReadWrite };
@@ -99,11 +123,21 @@ class UvmDriver
     /** cudaFree of a managed range: release all backing memory. */
     void freeManaged(mem::VirtAddr base);
 
+    /** Like freeManaged(), but reports a bad base (unknown range or
+     *  non-base pointer, e.g. a double free) instead of failing
+     *  fatally.  @return false with no state change on a bad base. */
+    bool tryFreeManaged(mem::VirtAddr base);
+
     // ------------------------------------------------------------
     // Oversubscription support (Section 7.1 occupier methodology)
     // ------------------------------------------------------------
 
     void reserveGpuMemory(GpuId gpu, sim::Bytes bytes);
+
+    /** Like reserveGpuMemory(), but @return false with no state
+     *  change when the reservation exceeds free memory. */
+    bool tryReserveGpuMemory(GpuId gpu, sim::Bytes bytes);
+
     void unreserveGpuMemory(GpuId gpu, sim::Bytes bytes);
 
     // ------------------------------------------------------------
@@ -204,6 +238,10 @@ class UvmDriver
      *  through this engine (accounting, observers, DMA scheduling). */
     TransferEngine &transferEngine() { return *xfer_; }
 
+    /** The fault injector (disabled unless cfg.faults.enabled); its
+     *  tally lets tests reconcile the fault_injected counter. */
+    const sim::FaultInjector &faultInjector() const { return injector_; }
+
     /** Aggregate interconnect traffic across all GPUs. */
     sim::Bytes totalTrafficBytes() const;
     sim::Bytes trafficH2d() const;
@@ -290,9 +328,16 @@ class UvmDriver
      * Allocate one chunk on @p gpu for @p block, running the eviction
      * process as needed (Section 5.5 order).
      * @return completion time (>= start when eviction did work).
+     * @throws GpuOomError when memory is exhausted and nothing is
+     *         evictable.
      */
     sim::SimTime allocChunk(VaBlock &block, GpuId gpu,
                             sim::SimTime start);
+
+    /** Evict until at least one chunk is free on @p gpu (used to make
+     *  a later allocChunk non-throwing before irreversible state
+     *  teardown).  @throws GpuOomError like allocChunk. */
+    sim::SimTime ensureFreeChunk(GpuId gpu, sim::SimTime start);
 
     /** Release the chunk of @p block back to the free queue. */
     void releaseChunk(VaBlock &block);
@@ -300,8 +345,9 @@ class UvmDriver
     /** Move a drained (no GPU-resident pages) chunk to unused. */
     void chunkToUnused(VaBlock &block);
 
-    /** One eviction step.  @return completion time. */
-    sim::SimTime evictOne(GpuId gpu, sim::SimTime start);
+    /** One eviction step.  @return completion time, or nullopt when
+     *  nothing on this GPU is evictable (memory truly exhausted). */
+    std::optional<sim::SimTime> evictOne(GpuId gpu, sim::SimTime start);
 
     /** Pick the used-queue victim per cfg_.eviction_policy. */
     VaBlock *selectUsedVictim(GpuId gpu);
@@ -346,6 +392,22 @@ class UvmDriver
     sim::SimTime unmapFromCpu(VaBlock &block, const PageMask &pages,
                               sim::SimTime start);
 
+    // ---- fault injection (eviction.cpp) ----
+
+    /**
+     * Roll for an ECC-style chunk failure at a driver entry point
+     * (gpuAccess/prefetch).  On a hit, one random chunk-holding block
+     * is picked, its live data migrates off, and the chunk is retired
+     * from service (Section 5.5 semantics: discarded and unused pages
+     * drop with no transfer).  Guarded so retirement never shrinks a
+     * GPU below the plan's chunk_retire_floor.
+     * @return completion time (== @p start when nothing fired).
+     */
+    sim::SimTime maybeInjectChunkFault(sim::SimTime start);
+
+    /** Retire @p block's chunk after an ECC failure. */
+    sim::SimTime retireChunk(VaBlock &block, sim::SimTime start);
+
     // ---- driver.cpp helpers ----
 
     GpuState &gpu(GpuId id);
@@ -355,6 +417,7 @@ class UvmDriver
                                std::uint32_t page) const;
 
     UvmConfig cfg_;
+    sim::FaultInjector injector_;
     sim::Rng eviction_rng_;
     std::uint64_t next_alloc_ordinal_ = 0;
     VaSpace va_space_;

@@ -29,8 +29,33 @@ UvmDriver::allocChunk(VaBlock &block, GpuId id, sim::SimTime start)
     // One allocation's evictions form one transfer batch: swap-outs
     // of adjacent victim blocks may coalesce on the D2H engines.
     TransferEngine::BatchScope batch(*xfer_);
-    while (!g.allocator.tryAllocChunk())
-        t = evictOne(id, t);
+    int injected_failures = 0;
+    for (;;) {
+        if (!g.allocator.tryAllocChunk()) {
+            std::optional<sim::SimTime> evicted = evictOne(id, t);
+            if (!evicted)
+                throw GpuOomError(id);
+            t = *evicted;
+            continue;
+        }
+        // Transient injected allocation failure: give the chunk back
+        // and run the bounded evict-retry loop once more.
+        if (injected_failures < cfg_.faults.alloc_max_retries &&
+            injector_.allocFails()) {
+            g.allocator.freeChunk();
+            ++injected_failures;
+            counters_.counter("fault_injected").inc();
+            if (observer_)
+                observer_->onFault(FaultEvent::kAllocFail, block.base,
+                                   0);
+            t += cfg_.reclaim_cost;
+            std::optional<sim::SimTime> evicted = evictOne(id, t);
+            if (evicted)
+                t = *evicted;
+            continue;
+        }
+        break;
+    }
     block.has_gpu_chunk = true;
     block.owner_gpu = id;
     block.alloc_ordinal = next_alloc_ordinal_++;
@@ -68,6 +93,20 @@ UvmDriver::chunkToUnused(VaBlock &block)
 }
 
 sim::SimTime
+UvmDriver::ensureFreeChunk(GpuId id, sim::SimTime start)
+{
+    GpuState &g = gpu(id);
+    sim::SimTime t = start;
+    while (g.allocator.freeChunks() == 0) {
+        std::optional<sim::SimTime> evicted = evictOne(id, t);
+        if (!evicted)
+            throw GpuOomError(id);
+        t = *evicted;
+    }
+    return t;
+}
+
+std::optional<sim::SimTime>
 UvmDriver::evictOne(GpuId id, sim::SimTime start)
 {
     GpuState &g = gpu(id);
@@ -118,9 +157,9 @@ UvmDriver::evictOne(GpuId id, sim::SimTime start)
         return evictBlock(*b, start);
     }
 
-    sim::fatal("eviction: GPU memory exhausted and nothing evictable "
-               "(working set exceeds framebuffer including the "
-               "occupier reservation)");
+    // Memory truly exhausted: let the caller run its fallbacks
+    // (remote access, error surfacing) instead of dying here.
+    return std::nullopt;
 }
 
 VaBlock *
@@ -163,6 +202,59 @@ UvmDriver::evictBlock(VaBlock &block, sim::SimTime start)
     // reclamation.
     releaseChunk(block);
     return t;
+}
+
+sim::SimTime
+UvmDriver::maybeInjectChunkFault(sim::SimTime start)
+{
+    if (!injector_.enabled() || cfg_.faults.chunk_retire_rate <= 0.0)
+        return start;
+    // Collect candidates before rolling: when nothing can be retired
+    // (no chunks, or the retire floor would be crossed) no roll
+    // happens at all, keeping the injector's tally reconciled with
+    // the retirements actually applied.
+    std::vector<VaBlock *> candidates;
+    va_space_.forEachBlockAll([&](VaBlock &b) {
+        if (!b.has_gpu_chunk)
+            return;
+        const mem::ChunkAllocator &alloc = gpu(b.owner_gpu).allocator;
+        if (alloc.totalChunks() - alloc.reservedChunks() -
+                alloc.retiredChunks() <=
+            cfg_.faults.chunk_retire_floor)
+            return;
+        candidates.push_back(&b);
+    });
+    if (candidates.empty() || !injector_.chunkFails())
+        return start;
+    VaBlock &victim =
+        *candidates[injector_.pickVictim(candidates.size())];
+    return retireChunk(victim, start);
+}
+
+sim::SimTime
+UvmDriver::retireChunk(VaBlock &block, sim::SimTime start)
+{
+    if (!block.has_gpu_chunk)
+        sim::panic("retireChunk: block has no chunk");
+    GpuState &g = gpu(block.owner_gpu);
+    // ECC-style failure: live pages migrate off the bad chunk;
+    // discarded and unused pages drop with no transfer (the
+    // Section 5.5 reclaim semantics apply unchanged).
+    TransferEngine::BatchScope batch(*xfer_);
+    sim::SimTime t = migrateToCpu(block, block.resident_gpu,
+                                  TransferCause::kEviction, start);
+    g.queues.unlink(&block);
+    g.allocator.retireAllocatedChunk();
+    block.has_gpu_chunk = false;
+    block.owner_gpu = -1;
+    block.gpu_prepared.reset();
+    block.gpu_mapping_big = false;
+    counters_.counter("fault_injected").inc();
+    counters_.counter("pages_retired").inc(mem::kPagesPerBlock);
+    if (observer_)
+        observer_->onFault(FaultEvent::kChunkRetired, block.base,
+                           mem::kPagesPerBlock);
+    return t + cfg_.reclaim_cost;
 }
 
 }  // namespace uvmd::uvm

@@ -162,6 +162,13 @@ UvmDriver::migrateGpuToGpu(VaBlock &block, const PageMask &pages,
     }
     block.discarded_lazily &= ~moving;
 
+    // Under fault injection allocChunk can throw (true exhaustion);
+    // secure a free destination chunk before the irreversible source
+    // teardown so an OOM never strands the block mid-move.  Gated so
+    // the fault-free path keeps its exact historical eviction timing.
+    if (injector_.enabled())
+        t = ensureFreeChunk(dst, t);
+
     // Hand the source chunk back and take one on the destination.
     block.resident_gpu.reset();
     block.gpu_prepared.reset();

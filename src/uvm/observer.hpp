@@ -27,6 +27,20 @@ enum class TransferCause : std::uint8_t {
 
 const char *toString(TransferCause cause);
 
+/** What the fault-injection/recovery machinery just did (reported
+ *  through TransferObserver::onFault). */
+enum class FaultEvent : std::uint8_t {
+    kDmaFault,       ///< a DMA descriptor failed transiently
+    kDmaRetry,       ///< the failed descriptor was re-issued
+    kChunkRetired,   ///< an ECC-bad 2 MB chunk left service
+    kAllocFail,      ///< injected transient chunk-allocation failure
+    kOomFallback,    ///< exhaustion served via Section 2.3 remote access
+    kLinkDegraded,   ///< link bandwidth dropped mid-run
+    kEngineOffline,  ///< a copy engine stopped accepting work
+};
+
+const char *toString(FaultEvent event);
+
 class TransferObserver
 {
   public:
@@ -55,6 +69,21 @@ class TransferObserver
 
     /** Pages released by freeing the managed range. */
     virtual void onFree(const VaBlock &block, const PageMask &pages) = 0;
+
+    /**
+     * An injected fault (or its recovery step) occurred.  @p block_base
+     * is the affected va_block's base, or 0 for link-level events that
+     * have no block; @p pages is the number of pages involved (0 when
+     * not meaningful).  Default no-op so existing observers that only
+     * care about data movement are unaffected.
+     */
+    virtual void onFault(FaultEvent event, mem::VirtAddr block_base,
+                         std::uint32_t pages)
+    {
+        (void)event;
+        (void)block_base;
+        (void)pages;
+    }
 };
 
 }  // namespace uvmd::uvm

@@ -23,7 +23,8 @@ sim::SimTime
 UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
                     ProcessorId dst, sim::SimTime start)
 {
-    sim::SimTime t = start;
+    // Injected ECC chunk failures surface at driver entry points.
+    sim::SimTime t = maybeInjectChunkFault(start);
     counters_.counter("prefetch_calls").inc();
 
     // One prefetch call is one transfer batch: runs spanning adjacent
@@ -41,10 +42,27 @@ UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
             PageMask missing = m & ~on_gpu;
 
             if (missing.any()) {
-                t = migrateToGpu(b, missing, id, TransferCause::kPrefetch,
-                                 t);
-                counters_.counter("prefetch_migrated_pages")
-                    .inc(missing.count());
+                try {
+                    t = migrateToGpu(b, missing, id,
+                                     TransferCause::kPrefetch, t);
+                    counters_.counter("prefetch_migrated_pages")
+                        .inc(missing.count());
+                } catch (const GpuOomError &) {
+                    // A prefetch is a hint: under the configured
+                    // remote-access fallback an exhausted GPU just
+                    // skips the migration (the later access will be
+                    // served in place); otherwise surface the error.
+                    if (!cfg_.faults.oom_remote_fallback ||
+                        b.has_gpu_chunk)
+                        throw;
+                    counters_.counter("oom_fallbacks").inc();
+                    if (observer_)
+                        observer_->onFault(
+                            FaultEvent::kOomFallback, b.base,
+                            static_cast<std::uint32_t>(
+                                missing.count()));
+                    return;
+                }
             }
 
             // Re-arm resident pages that are still marked discarded.

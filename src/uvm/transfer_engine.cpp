@@ -99,13 +99,21 @@ TransferEngine::submit(const TransferRequest &req, sim::SimTime start)
     Tail &tail = tails_[linkIndex(req)][static_cast<std::size_t>(
         req.dir)];
     bool merge = cfg_.coalesce_transfers && batch_depth_ > 0 &&
-                 tail.valid && tail.end_addr == first_addr;
+                 tail.valid && tail.end_addr == first_addr &&
+                 !sched.engineOffline(req.dir, tail.engine);
     std::uint32_t new_descriptors = merge ? runs - 1 : runs;
     std::uint32_t engine =
         merge ? tail.engine : sched.pickEngine(req.dir);
 
     sim::SimTime done =
         sched.issueOn(engine, req.dir, start, bytes, new_descriptors);
+    descriptors_issued_ += new_descriptors;
+    if (injector_ && injector_->enabled()) {
+        done = injectDmaRetries(
+            sched, engine, req.dir, bytes, new_descriptors, done,
+            toString(req.cause), req.block->base,
+            static_cast<std::uint32_t>(req.pages.count()));
+    }
 
     link.accountTraffic(bytes, req.dir);
     counters_.counter("dma_descriptors").inc(new_descriptors);
@@ -124,7 +132,103 @@ TransferEngine::submit(const TransferRequest &req, sim::SimTime start)
                               req.cause);
 
     tail = Tail{true, end_addr, engine};
+    if (injector_ && injector_->enabled())
+        applyLinkEvents(done);
     return done;
+}
+
+sim::SimTime
+TransferEngine::injectDmaRetries(interconnect::DmaScheduler &sched,
+                                 std::uint32_t engine, Direction dir,
+                                 sim::Bytes bytes,
+                                 std::uint32_t new_descriptors,
+                                 sim::SimTime done, const char *cause,
+                                 mem::VirtAddr block_base,
+                                 std::uint32_t pages)
+{
+    if (new_descriptors == 0)
+        return done;
+    // A retry re-transfers one descriptor's span, not the whole
+    // request; approximate the span as an even split.
+    sim::Bytes per_desc = bytes / new_descriptors;
+    for (std::uint32_t d = 0; d < new_descriptors; ++d) {
+        int attempt = 0;
+        while (injector_->dmaDescriptorFails()) {
+            counters_.counter("fault_injected").inc();
+            if (observer_)
+                observer_->onFault(FaultEvent::kDmaFault, block_base,
+                                   pages);
+            if (attempt >= injector_->plan().dma_max_retries)
+                sim::fatal("TransferEngine: DMA descriptor failed "
+                           "permanently (retries exhausted)");
+            // Exponential backoff, modelled as engine idle time.
+            sim::SimDuration backoff =
+                injector_->plan().dma_retry_backoff *
+                (sim::SimDuration{1} << attempt);
+            sim::SimTime before = done;
+            done = sched.retryOn(engine, dir, done + backoff, per_desc);
+            counters_.counter("transfer_retries").inc();
+            counters_.counter(std::string("transfer_retries.") + cause)
+                .inc();
+            counters_.counter("transfer_retry_ns").inc(done - before);
+            if (observer_)
+                observer_->onFault(FaultEvent::kDmaRetry, block_base,
+                                   pages);
+            ++attempt;
+        }
+    }
+    return done;
+}
+
+void
+TransferEngine::applyLinkEvents(sim::SimTime now)
+{
+    for (const sim::LinkFaultEvent &ev :
+         injector_->takeDueLinkEvents(descriptors_issued_)) {
+        interconnect::Link *link = nullptr;
+        std::size_t link_idx = 0;
+        if (ev.gpu < 0) {
+            link = peer_link_;
+            link_idx = gpu_links_.size();
+        } else if (ev.gpu <
+                   static_cast<int>(gpu_links_.size())) {
+            link = gpu_links_[ev.gpu];
+            link_idx = static_cast<std::size_t>(ev.gpu);
+        }
+        if (!link)
+            continue;  // event targets a link this run doesn't have
+        interconnect::DmaScheduler &sched = link->scheduler();
+
+        // Tally through the injector exactly what was applied, so
+        // fault_injected reconciles with the injector's own book.
+        sim::LinkFaultEvent applied = ev;
+        applied.bandwidth_factor = 1.0;
+        applied.offline_engine = -1;
+
+        if (ev.bandwidth_factor < 1.0) {
+            sched.scaleBandwidth(ev.bandwidth_factor);
+            applied.bandwidth_factor = ev.bandwidth_factor;
+            counters_.counter("fault_injected").inc();
+            if (observer_)
+                observer_->onFault(FaultEvent::kLinkDegraded, 0, 0);
+        }
+        if (ev.offline_engine >= 0) {
+            Direction dir = ev.offline_dir == 0
+                                ? Direction::kHostToDevice
+                                : Direction::kDeviceToHost;
+            if (sched.setEngineOffline(
+                    dir, static_cast<std::uint32_t>(ev.offline_engine),
+                    now)) {
+                invalidateTail(link_idx, dir);
+                applied.offline_engine = ev.offline_engine;
+                counters_.counter("fault_injected").inc();
+                if (observer_)
+                    observer_->onFault(FaultEvent::kEngineOffline, 0,
+                                       0);
+            }
+        }
+        injector_->noteLinkEventApplied(applied);
+    }
 }
 
 void
@@ -151,7 +255,18 @@ TransferEngine::rawTransfer(GpuId gpu, sim::Bytes bytes,
     // A foreign descriptor lands on the engine timeline: whatever
     // coalescing tail was open for this link/direction is broken.
     invalidateTail(static_cast<std::size_t>(gpu), dir);
-    return gpu_links_[gpu]->transfer(start, bytes, dir);
+    interconnect::Link &link = *gpu_links_[gpu];
+    interconnect::DmaScheduler &sched = link.scheduler();
+    link.accountTraffic(bytes, dir);
+    std::uint32_t engine = sched.pickEngine(dir);
+    sim::SimTime done = sched.issueOn(engine, dir, start, bytes, 1);
+    descriptors_issued_ += 1;
+    if (injector_ && injector_->enabled()) {
+        done = injectDmaRetries(sched, engine, dir, bytes, 1, done,
+                                "raw", 0, 0);
+        applyLinkEvents(done);
+    }
+    return done;
 }
 
 }  // namespace uvmd::uvm

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "interconnect/link.hpp"
+#include "sim/fault_injector.hpp"
 #include "uvm/config.hpp"
 #include "uvm/observer.hpp"
 #include "uvm/va_block.hpp"
@@ -58,6 +59,10 @@ class TransferEngine
     void setPeerLink(interconnect::Link *peer);
 
     void setObserver(TransferObserver *obs) { observer_ = obs; }
+
+    /** Wire the fault injector (owned by the driver).  A disabled or
+     *  absent injector leaves every timing bit-identical. */
+    void setInjector(sim::FaultInjector *inj) { injector_ = inj; }
 
     // ------------------------------------------------------------
     // Batch scopes
@@ -139,11 +144,35 @@ class TransferEngine
     void invalidateTail(std::size_t link_idx,
                         interconnect::Direction dir);
 
+    /**
+     * Fault-injection hook after descriptors land on @p engine: draws
+     * per-descriptor transient failures and re-issues each failed
+     * descriptor with exponential backoff (bounded by the plan's
+     * dma_max_retries; a descriptor that still fails then is a
+     * permanent transfer failure, which is fatal).
+     * @return completion time including any retries.
+     */
+    sim::SimTime injectDmaRetries(interconnect::DmaScheduler &sched,
+                                  std::uint32_t engine,
+                                  interconnect::Direction dir,
+                                  sim::Bytes bytes,
+                                  std::uint32_t new_descriptors,
+                                  sim::SimTime done,
+                                  const char *cause,
+                                  mem::VirtAddr block_base,
+                                  std::uint32_t pages);
+
+    /** Apply scheduled link events whose descriptor threshold has been
+     *  crossed (bandwidth degradation, copy-engine loss). */
+    void applyLinkEvents(sim::SimTime now);
+
     const UvmConfig &cfg_;
     sim::StatGroup &counters_;
     std::vector<interconnect::Link *> gpu_links_;
     interconnect::Link *peer_link_ = nullptr;
     TransferObserver *observer_ = nullptr;
+    sim::FaultInjector *injector_ = nullptr;
+    std::uint64_t descriptors_issued_ = 0;
     int batch_depth_ = 0;
     /** Indexed by [linkIndex][direction]; last slot is the peer. */
     std::vector<std::array<Tail, 2>> tails_;

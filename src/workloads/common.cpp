@@ -35,6 +35,10 @@ harvest(RunResult &result, cuda::Runtime &rt, trace::Auditor &auditor)
     result.evictions_used = drv.counters().get("evictions_used");
     result.evictions_discarded =
         drv.counters().get("evictions_discarded");
+    result.fault_injected = drv.counters().get("fault_injected");
+    result.transfer_retries = drv.counters().get("transfer_retries");
+    result.pages_retired = drv.counters().get("pages_retired");
+    result.oom_fallbacks = drv.counters().get("oom_fallbacks");
 }
 
 }  // namespace uvmd::workloads

@@ -137,6 +137,12 @@ struct RunResult {
     std::uint64_t evictions_used = 0;
     std::uint64_t evictions_discarded = 0;
 
+    // Fault-injection outcomes (zero when injection is disabled).
+    std::uint64_t fault_injected = 0;
+    std::uint64_t transfer_retries = 0;
+    std::uint64_t pages_retired = 0;
+    std::uint64_t oom_fallbacks = 0;
+
     sim::Bytes
     trafficTotal() const
     {

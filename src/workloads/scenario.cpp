@@ -49,7 +49,15 @@ parseSize(std::size_t line_no, const std::string &token)
         factor = sim::kGiB;
     else
         scriptError(line_no, "bad size unit '" + unit + "'");
-    return static_cast<sim::Bytes>(value * factor);
+    double bytes = value * factor;
+    // Negative sizes would wrap to huge unsigned values, and absurd
+    // ones overflow downstream arithmetic; both are script bugs.
+    if (!(bytes >= 0))
+        scriptError(line_no, "negative size '" + token + "'");
+    if (bytes > static_cast<double>(sim::Bytes{1} << 62))
+        scriptError(line_no, "size '" + token + "' is implausibly "
+                             "large");
+    return static_cast<sim::Bytes>(bytes);
 }
 
 /** Parse "500us", "3ms", "1s" into a duration. */
@@ -63,6 +71,8 @@ parseDuration(std::size_t line_no, const std::string &token)
     } catch (const std::exception &) {
         scriptError(line_no, "bad duration '" + token + "'");
     }
+    if (!(value >= 0))
+        scriptError(line_no, "negative duration '" + token + "'");
     std::string unit = token.substr(pos);
     if (unit == "ns")
         return sim::nanoseconds(value);
@@ -73,6 +83,49 @@ parseDuration(std::size_t line_no, const std::string &token)
     if (unit == "s")
         return sim::seconds(value);
     scriptError(line_no, "bad duration unit '" + unit + "'");
+}
+
+/** Parse a whole-token non-negative integer ("5", "1000"). */
+std::uint64_t
+parseCount(std::size_t line_no, const std::string &token)
+{
+    std::size_t pos = 0;
+    unsigned long long v = 0;
+    try {
+        v = std::stoull(token, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos != token.size() || token[0] == '-')
+        scriptError(line_no, "bad count '" + token + "'");
+    return v;
+}
+
+/** Parse a whole-token probability in [0, 1]. */
+double
+parseRate(std::size_t line_no, const std::string &token)
+{
+    std::size_t pos = 0;
+    double v = 0;
+    try {
+        v = std::stod(token, &pos);
+    } catch (const std::exception &) {
+        pos = 0;
+    }
+    if (pos != token.size() || !(v >= 0.0) || !(v <= 1.0))
+        scriptError(line_no,
+                    "bad rate '" + token + "' (want 0..1)");
+    return v;
+}
+
+bool
+parseOnOff(std::size_t line_no, const std::string &token)
+{
+    if (token == "on")
+        return true;
+    if (token == "off")
+        return false;
+    scriptError(line_no, "expected on|off, got '" + token + "'");
 }
 
 struct Buffer {
@@ -133,6 +186,93 @@ class ScenarioInterpreter
         return it->second;
     }
 
+    /** Fixed-arity commands reject trailing operands: silently
+     *  ignoring them hides typos like "alloc a 4MiB 8MiB". */
+    void
+    arity(std::size_t i, std::size_t n)
+    {
+        const auto &[line_no, tokens] = lines_[i];
+        if (tokens.size() != n)
+            scriptError(line_no,
+                        "'" + tokens[0] + "' takes " +
+                            std::to_string(n - 1) + " operand(s), got " +
+                            std::to_string(tokens.size() - 1));
+    }
+
+    /** `inject <knob> ...` fault-plan directives (config pass). */
+    void
+    injectDirective(std::size_t i, uvm::UvmConfig &cfg)
+    {
+        const auto &[line_no, tokens] = lines_[i];
+        sim::FaultPlan &f = cfg.faults;
+        const std::string &knob = argStr(i, 1);
+        if (knob == "on") {
+            arity(i, 2);
+        } else if (knob == "seed") {
+            arity(i, 3);
+            f.seed = arg(i, 2, &parseCount);
+        } else if (knob == "dma_fault_rate") {
+            arity(i, 3);
+            f.dma_fault_rate = arg(i, 2, &parseRate);
+        } else if (knob == "dma_max_retries") {
+            arity(i, 3);
+            f.dma_max_retries =
+                static_cast<int>(arg(i, 2, &parseCount));
+        } else if (knob == "dma_backoff") {
+            arity(i, 3);
+            f.dma_retry_backoff = arg(i, 2, &parseDuration);
+        } else if (knob == "alloc_fail_rate") {
+            arity(i, 3);
+            f.alloc_fail_rate = arg(i, 2, &parseRate);
+        } else if (knob == "alloc_max_retries") {
+            arity(i, 3);
+            f.alloc_max_retries =
+                static_cast<int>(arg(i, 2, &parseCount));
+        } else if (knob == "chunk_retire_rate") {
+            arity(i, 3);
+            f.chunk_retire_rate = arg(i, 2, &parseRate);
+        } else if (knob == "chunk_retire_floor") {
+            arity(i, 3);
+            f.chunk_retire_floor = arg(i, 2, &parseCount);
+        } else if (knob == "oom_fallback") {
+            arity(i, 3);
+            f.oom_remote_fallback = arg(i, 2, &parseOnOff);
+        } else if (knob == "degrade_link") {
+            // inject degrade_link <factor> after <descriptors>
+            arity(i, 5);
+            sim::LinkFaultEvent ev;
+            double factor = arg(i, 2, &parseRate);
+            if (factor <= 0.0)
+                scriptError(line_no, "degrade factor must be > 0");
+            ev.bandwidth_factor = factor;
+            if (argStr(i, 3) != "after")
+                scriptError(line_no, "expected 'after'");
+            ev.after_descriptors = arg(i, 4, &parseCount);
+            f.link_events.push_back(ev);
+        } else if (knob == "offline_engine") {
+            // inject offline_engine h2d|d2h <index> after <descriptors>
+            arity(i, 6);
+            sim::LinkFaultEvent ev;
+            const std::string &dir = argStr(i, 2);
+            if (dir == "h2d")
+                ev.offline_dir = 0;
+            else if (dir == "d2h")
+                ev.offline_dir = 1;
+            else
+                scriptError(line_no, "expected h2d|d2h");
+            ev.offline_engine =
+                static_cast<int>(arg(i, 3, &parseCount));
+            if (argStr(i, 4) != "after")
+                scriptError(line_no, "expected 'after'");
+            ev.after_descriptors = arg(i, 5, &parseCount);
+            f.link_events.push_back(ev);
+        } else {
+            scriptError(line_no,
+                        "unknown inject knob '" + knob + "'");
+        }
+        f.enabled = true;
+    }
+
 
   public:
     ScenarioResult
@@ -147,8 +287,16 @@ class ScenarioInterpreter
             const auto &[line_no, tokens] = lines_[i];
             const std::string &cmd = tokens[0];
             if (cmd == "gpu_memory") {
+                arity(i, 2);
                 cfg.gpu_memory = arg(i, 1, &parseSize);
+                if (cfg.gpu_memory > 1024 * sim::kGiB)
+                    scriptError(line_no,
+                                "gpu_memory above 1TiB is not a real "
+                                "GPU");
+            } else if (cmd == "inject") {
+                injectDirective(i, cfg);
             } else if (cmd == "link") {
+                arity(i, 2);
                 const std::string &name = argStr(i, 1);
                 if (name == "pcie3")
                     link = interconnect::LinkSpec::pcie3();
@@ -159,6 +307,7 @@ class ScenarioInterpreter
                 else
                     scriptError(line_no, "unknown link '" + name + "'");
             } else if (cmd == "policy") {
+                arity(i, 2);
                 const std::string &name = argStr(i, 1);
                 if (name == "lru")
                     cfg.eviction_policy = uvm::EvictionPolicy::kLru;
@@ -170,8 +319,10 @@ class ScenarioInterpreter
                     scriptError(line_no,
                                 "unknown policy '" + name + "'");
             } else if (cmd == "occupy") {
+                arity(i, 2);
                 occupy = arg(i, 1, &parseSize);
             } else if (cmd == "copy_engines") {
+                arity(i, 2);
                 const std::string &n = argStr(i, 1);
                 int v = 0;
                 try {
@@ -184,6 +335,7 @@ class ScenarioInterpreter
                                 "bad copy engine count '" + n + "'");
                 cfg.copy_engines_per_dir = v;
             } else if (cmd == "coalesce") {
+                arity(i, 2);
                 const std::string &v = argStr(i, 1);
                 if (v == "on")
                     cfg.coalesce_transfers = true;
@@ -221,6 +373,11 @@ class ScenarioInterpreter
         result.evictions_used = drv.counters().get("evictions_used");
         result.evictions_discarded =
             drv.counters().get("evictions_discarded");
+        result.fault_injected = drv.counters().get("fault_injected");
+        result.transfer_retries =
+            drv.counters().get("transfer_retries");
+        result.pages_retired = drv.counters().get("pages_retired");
+        result.oom_fallbacks = drv.counters().get("oom_fallbacks");
         std::ostringstream report;
         advisor_->report(report);
         result.advisor_report = report.str();
@@ -239,24 +396,32 @@ class ScenarioInterpreter
         const std::string &cmd = tokens[0];
 
         if (cmd == "alloc") {
+            arity(i, 3);
             const std::string &name = argStr(i, 1);
             if (buffers_.count(name))
                 scriptError(line_no, "buffer '" + name +
                                          "' already exists");
             sim::Bytes size = arg(i, 2, &parseSize);
+            if (size > 64 * sim::kGiB)
+                scriptError(line_no,
+                            "allocation above 64GiB exceeds the "
+                            "simulated VA budget");
             buffers_[name] = {rt_->mallocManaged(size, name), size};
         } else if (cmd == "free") {
+            arity(i, 2);
             const std::string &name = argStr(i, 1);
             Buffer &b = buffer(i, name);
             rt_->freeManaged(b.addr);
             buffers_.erase(name);
         } else if (cmd == "host_write" || cmd == "host_read") {
+            arity(i, 2);
             Buffer &b = buffer(i, argStr(i, 1));
             rt_->hostTouch(b.addr, b.size,
                            cmd == "host_write"
                                ? uvm::AccessKind::kWrite
                                : uvm::AccessKind::kRead);
         } else if (cmd == "prefetch") {
+            arity(i, 3);
             Buffer &b = buffer(i, argStr(i, 1));
             const std::string &dst = argStr(i, 2);
             if (dst == "gpu") {
@@ -270,6 +435,7 @@ class ScenarioInterpreter
                             "prefetch destination must be gpu|cpu");
             }
         } else if (cmd == "discard") {
+            arity(i, 3);
             Buffer &b = buffer(i, argStr(i, 1));
             const std::string &mode = argStr(i, 2);
             if (mode != "eager" && mode != "lazy")
@@ -279,6 +445,7 @@ class ScenarioInterpreter
                                   ? uvm::DiscardMode::kEager
                                   : uvm::DiscardMode::kLazy);
         } else if (cmd == "advise") {
+            arity(i, 3);
             Buffer &b = buffer(i, argStr(i, 1));
             const std::string &advice = argStr(i, 2);
             if (advice == "accessed_by") {
@@ -328,10 +495,12 @@ class ScenarioInterpreter
             }
             rt_->launch(k);
         } else if (cmd == "sync") {
+            arity(i, 1);
             rt_->synchronize();
         } else if (cmd == "gpu_memory" || cmd == "link" ||
                    cmd == "policy" || cmd == "occupy" ||
-                   cmd == "copy_engines" || cmd == "coalesce") {
+                   cmd == "copy_engines" || cmd == "coalesce" ||
+                   cmd == "inject") {
             scriptError(line_no,
                         "configuration directives must precede all "
                         "operations");
@@ -361,8 +530,18 @@ ScenarioResult::summary() const
        << "\n"
        << "gpu fault batches: " << gpu_fault_batches << "\n"
        << "evictions (used):  " << evictions_used << "\n"
-       << "evictions (disc.): " << evictions_discarded << "\n"
-       << advisor_report;
+       << "evictions (disc.): " << evictions_discarded << "\n";
+    // Fault-injection lines appear only when something actually fired,
+    // so fault-free summaries stay byte-identical to the old format.
+    if (fault_injected)
+        os << "faults injected:   " << fault_injected << "\n";
+    if (transfer_retries)
+        os << "transfer retries:  " << transfer_retries << "\n";
+    if (pages_retired)
+        os << "pages retired:     " << pages_retired << "\n";
+    if (oom_fallbacks)
+        os << "oom fallbacks:     " << oom_fallbacks << "\n";
+    os << advisor_report;
     return os.str();
 }
 

@@ -11,6 +11,18 @@
  *     occupy 128MB              # oversubscription occupier
  *     copy_engines 2            # DMA copy engines per direction
  *     coalesce on               # on | off: DMA descriptor coalescing
+ *     inject on                 # enable deterministic fault injection
+ *     inject seed 7             # injector RNG seed
+ *     inject dma_fault_rate 0.001         # per-descriptor P(fault)
+ *     inject dma_max_retries 4            # before a fault is fatal
+ *     inject dma_backoff 5us              # base retry backoff
+ *     inject alloc_fail_rate 0.01         # per-chunk-alloc P(fault)
+ *     inject alloc_max_retries 3
+ *     inject chunk_retire_rate 0.0001     # ECC-style page retirement
+ *     inject chunk_retire_floor 2         # keep >= N usable chunks
+ *     inject oom_fallback on              # Section-2.3 remote access
+ *     inject degrade_link 0.5 after 100   # halve bandwidth later on
+ *     inject offline_engine h2d 1 after 50  # kill a copy engine
  *     alloc A 64MB              # cudaMallocManaged
  *     host_write A              # host touches the whole buffer
  *     prefetch A gpu            # cudaMemPrefetchAsync (gpu | cpu)
@@ -26,7 +38,8 @@
  * fresh Runtime with an auditor attached and returns the final
  * statistics; `ScenarioResult::summary()` renders them.
  *
- * See examples/scenarios/*.uvm and examples/scenario_runner.cpp.
+ * See the .uvm scripts under examples/scenarios/ and
+ * examples/scenario_runner.cpp.
  */
 
 #ifndef UVMD_WORKLOADS_SCENARIO_HPP
@@ -51,6 +64,12 @@ struct ScenarioResult {
     std::uint64_t gpu_fault_batches = 0;
     std::uint64_t evictions_used = 0;
     std::uint64_t evictions_discarded = 0;
+
+    // Fault-injection outcomes (all zero when injection is off).
+    std::uint64_t fault_injected = 0;
+    std::uint64_t transfer_retries = 0;
+    std::uint64_t pages_retired = 0;
+    std::uint64_t oom_fallbacks = 0;
 
     /** The advisor's ranked discard suggestions for this run. */
     std::string advisor_report;

@@ -7,7 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <iterator>
+#include <string>
+
 #include "sim/logging.hpp"
+#include "sim/random.hpp"
 #include "workloads/scenario.hpp"
 
 namespace uvmd::workloads {
@@ -187,6 +192,177 @@ TEST(Scenario, MissingFileIsFatal)
 {
     EXPECT_THROW(runScenarioFile("/nonexistent/path.uvm"),
                  sim::FatalError);
+}
+
+// ------------------------------------------------------------------
+// Fault-injection directives
+// ------------------------------------------------------------------
+
+TEST(ScenarioInject, DmaFaultDirectivesRunAndReport)
+{
+    ScenarioResult r = runScenario(R"(
+        inject seed 7
+        inject dma_fault_rate 0.5
+        inject dma_max_retries 32
+        alloc a 8MiB
+        host_write a
+        prefetch a gpu
+        sync
+    )");
+    // Deterministic seed: with rate 0.5 over an 8 MiB prefetch some
+    // descriptors certainly fault, and each DMA fault costs exactly
+    // one retry.
+    EXPECT_GT(r.fault_injected, 0u);
+    EXPECT_EQ(r.transfer_retries, r.fault_injected);
+    std::string s = r.summary();
+    EXPECT_NE(s.find("faults injected"), std::string::npos);
+    EXPECT_NE(s.find("transfer retries"), std::string::npos);
+}
+
+TEST(ScenarioInject, ChunkRetirementReportsPagesRetired)
+{
+    ScenarioResult r = runScenario(R"(
+        gpu_memory 8MiB
+        inject chunk_retire_rate 1.0
+        inject chunk_retire_floor 2
+        alloc a 4MiB
+        host_write a
+        prefetch a gpu
+        kernel k read a compute 10us
+        sync
+    )");
+    // The ECC roll happens at driver entry points against chunks that
+    // are already allocated, so the kernel after the prefetch trips it.
+    EXPECT_GT(r.pages_retired, 0u);
+    EXPECT_EQ(r.pages_retired % mem::kPagesPerBlock, 0u);
+    EXPECT_NE(r.summary().find("pages retired"), std::string::npos);
+}
+
+TEST(ScenarioInject, OomFallbackDirectiveServesAccessRemotely)
+{
+    ScenarioResult r = runScenario(R"(
+        gpu_memory 4MiB
+        occupy 4MiB
+        inject oom_fallback on
+        alloc a 2MiB
+        host_write a
+        kernel k rw a compute 10us
+    )");
+    EXPECT_GT(r.oom_fallbacks, 0u);
+    EXPECT_NE(r.summary().find("oom fallbacks"), std::string::npos);
+}
+
+TEST(ScenarioInject, CleanRunSummaryOmitsFaultLines)
+{
+    ScenarioResult r = runScenario(R"(
+        alloc a 4MiB
+        host_write a
+        prefetch a gpu
+    )");
+    EXPECT_EQ(r.fault_injected, 0u);
+    EXPECT_EQ(r.summary().find("faults injected"), std::string::npos);
+}
+
+TEST(ScenarioInject, UnknownKnobIsFatalWithLineNumber)
+{
+    try {
+        runScenario("inject frobnicate 1\n");
+        FAIL() << "expected FatalError";
+    } catch (const sim::FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 1"),
+                  std::string::npos);
+    }
+}
+
+TEST(ScenarioInject, OutOfRangeRateIsFatal)
+{
+    EXPECT_THROW(runScenario("inject dma_fault_rate 1.5\n"),
+                 sim::FatalError);
+    EXPECT_THROW(runScenario("inject dma_fault_rate -0.1\n"),
+                 sim::FatalError);
+}
+
+TEST(ScenarioInject, ZeroDegradeFactorIsFatal)
+{
+    EXPECT_THROW(runScenario("inject degrade_link 0 after 5\n"),
+                 sim::FatalError);
+}
+
+TEST(ScenarioInject, LateInjectDirectiveIsFatal)
+{
+    EXPECT_THROW(runScenario("alloc a 4MiB\ninject on\n"),
+                 sim::FatalError);
+}
+
+// ------------------------------------------------------------------
+// Parser robustness
+// ------------------------------------------------------------------
+
+TEST(ScenarioRobust, TrailingOperandIsFatalWithLineNumber)
+{
+    try {
+        runScenario("alloc a 4MiB extra\n");
+        FAIL() << "expected FatalError";
+    } catch (const sim::FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 1"),
+                  std::string::npos);
+    }
+}
+
+TEST(ScenarioRobust, NegativeSizeIsFatal)
+{
+    EXPECT_THROW(runScenario("alloc a -4MiB\n"), sim::FatalError);
+}
+
+TEST(ScenarioRobust, ImplausibleSizesAreFatal)
+{
+    EXPECT_THROW(runScenario("gpu_memory 5TiB\n"), sim::FatalError);
+    EXPECT_THROW(runScenario("alloc a 128GiB\n"), sim::FatalError);
+}
+
+TEST(ScenarioRobust, FuzzedScriptsNeverCrash)
+{
+    // Deterministic fuzz: mutate a valid script by truncation, token
+    // splicing, and byte noise.  Every mutant must either run or be
+    // rejected with FatalError — never crash, hang, or corrupt memory
+    // (the asan build runs this too).
+    const std::string base = "gpu_memory 8MiB\n"
+                             "inject dma_fault_rate 0.1\n"
+                             "inject degrade_link 0.5 after 10\n"
+                             "alloc a 4MiB\n"
+                             "host_write a\n"
+                             "prefetch a gpu\n"
+                             "kernel k rw a compute 10us\n"
+                             "discard a eager\n"
+                             "sync\n";
+    const char *splices[] = {"inject", "after",  "4MiB",  "-1",
+                             "1e999",  "gpu",    "\x01",  "#",
+                             "alloc",  "999999", "h2d",   ""};
+    sim::Rng rng(2022);
+    for (int iter = 0; iter < 300; ++iter) {
+        std::string s = base;
+        switch (rng.below(3)) {
+          case 0:  // truncate mid-script
+            s = s.substr(0, rng.below(s.size() + 1));
+            break;
+          case 1: {  // splice a random token somewhere
+            std::size_t pos = rng.below(s.size());
+            s.insert(pos, splices[rng.below(std::size(splices))]);
+            break;
+          }
+          case 2: {  // flip a byte
+            std::size_t pos = rng.below(s.size());
+            s[pos] = static_cast<char>(rng.below(128));
+            break;
+          }
+        }
+        try {
+            runScenario(s);
+        } catch (const sim::FatalError &) {
+            // rejection is fine; crashing is not
+        }
+    }
+    SUCCEED();
 }
 
 TEST(Scenario, SummaryMentionsKeyStats)

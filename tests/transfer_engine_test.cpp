@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "cuda/runtime.hpp"
 #include "test_util.hpp"
 #include "uvm/transfer_engine.hpp"
@@ -320,6 +322,41 @@ TEST(TransferEngineRegression, CoalescingPreservesTrafficCounters)
     EXPECT_EQ(descs_base, 4u);
     EXPECT_EQ(descs_fused, 1u);  // how it moved is not
     EXPECT_LT(t_fused, t_base);  // three setup latencies saved
+}
+
+TEST(TransferEngineRegression, DisabledInjectorIsBitIdentical)
+{
+    // A fault plan whose knobs are all set but whose master switch is
+    // off must not perturb timing, counters or stats output at all:
+    // the injector may not even draw from its RNG.
+    uvm::UvmConfig base = test::tinyConfig();
+    uvm::UvmConfig armed = base;
+    armed.faults.seed = 99;
+    armed.faults.dma_fault_rate = 0.5;
+    armed.faults.alloc_fail_rate = 0.5;
+    armed.faults.chunk_retire_rate = 0.5;
+    armed.faults.oom_remote_fallback = true;
+    armed.faults.link_events.push_back({0, 0, 0.5, -1, 0});
+    ASSERT_FALSE(armed.faults.enabled);
+
+    auto run = [](uvm::UvmConfig cfg) {
+        cuda::Runtime rt(cfg, test::testLink());
+        sim::Bytes size = 8 * sim::kMiB;
+        mem::VirtAddr buf = rt.mallocManaged(size, "inj.buf");
+        rt.hostTouch(buf, size, AccessKind::kWrite);
+        rt.prefetchAsync(buf, size, ProcessorId::gpu(0));
+        rt.synchronize();
+        rt.hostTouch(buf, size, AccessKind::kRead);
+        std::ostringstream stats;
+        rt.driver().dumpStats(stats);
+        return std::pair<sim::SimTime, std::string>(rt.now(),
+                                                    stats.str());
+    };
+
+    auto [t_base, stats_base] = run(base);
+    auto [t_armed, stats_armed] = run(armed);
+    EXPECT_EQ(t_base, t_armed);
+    EXPECT_EQ(stats_base, stats_armed);
 }
 
 }  // namespace
