@@ -9,16 +9,18 @@
  */
 
 #include "bench_util.hpp"
+#include "sweep_runner.hpp"
 #include "workloads/fir.hpp"
 #include "workloads/hash_join.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace uvmd;
     using namespace uvmd::bench;
     using namespace uvmd::workloads;
 
+    SweepOptions opt = parseSweepArgs(argc, argv);
     banner("Ablation: discarded page queue (Section 5.5)");
 
     trace::Table table("UvmDiscard with/without the discarded queue "
@@ -26,31 +28,39 @@ main()
     table.header({"Workload", "Queue", "Runtime (ms)", "Traffic (GB)",
                   "Used-LRU evictions", "Discard-queue evictions"});
 
-    for (bool queue_enabled : {true, false}) {
-        uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
-        cfg.discard_queue_enabled = queue_enabled;
-
-        FirParams fir;
-        fir.ovsp_ratio = 2.0;
-        RunResult fr = runFir(System::kUvmDiscard, fir,
-                              interconnect::LinkSpec::pcie4(), cfg);
-        table.row({"FIR", queue_enabled ? "on" : "off",
-                   trace::fmt(sim::toMilliseconds(fr.elapsed), 1),
-                   trace::fmt(fr.trafficGb()),
-                   std::to_string(fr.evictions_used),
-                   std::to_string(fr.evictions_discarded)});
-
-        HashJoinParams hj;
-        hj.ovsp_ratio = 2.0;
-        RunResult hr = runHashJoin(System::kUvmDiscard, hj,
+    struct Config {
+        bool queue;
+        bool hashjoin;
+    };
+    const std::vector<Config> grid = {
+        {true, false}, {true, true}, {false, false}, {false, true}};
+    runIndexedSweep(
+        opt, grid.size(),
+        [&](std::size_t i) {
+            const Config &c = grid[i];
+            uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+            cfg.discard_queue_enabled = c.queue;
+            if (c.hashjoin) {
+                HashJoinParams hj;
+                hj.ovsp_ratio = 2.0;
+                return runHashJoin(System::kUvmDiscard, hj,
                                    interconnect::LinkSpec::pcie4(),
                                    cfg);
-        table.row({"Hash-join", queue_enabled ? "on" : "off",
-                   trace::fmt(sim::toMilliseconds(hr.elapsed), 1),
-                   trace::fmt(hr.trafficGb()),
-                   std::to_string(hr.evictions_used),
-                   std::to_string(hr.evictions_discarded)});
-    }
+            }
+            FirParams fir;
+            fir.ovsp_ratio = 2.0;
+            return runFir(System::kUvmDiscard, fir,
+                          interconnect::LinkSpec::pcie4(), cfg);
+        },
+        [&](std::size_t i, RunResult &&r) {
+            const Config &c = grid[i];
+            table.row({c.hashjoin ? "Hash-join" : "FIR",
+                       c.queue ? "on" : "off",
+                       trace::fmt(sim::toMilliseconds(r.elapsed), 1),
+                       trace::fmt(r.trafficGb()),
+                       std::to_string(r.evictions_used),
+                       std::to_string(r.evictions_discarded)});
+        });
     table.print();
     table.writeCsv("ablation_discard_queue.csv");
 

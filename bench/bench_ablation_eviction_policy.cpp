@@ -10,16 +10,18 @@
  */
 
 #include "bench_util.hpp"
+#include "sweep_runner.hpp"
 #include "workloads/fir.hpp"
 #include "workloads/hash_join.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace uvmd;
     using namespace uvmd::bench;
     using namespace uvmd::workloads;
 
+    SweepOptions opt = parseSweepArgs(argc, argv);
     banner("Ablation: used-queue eviction policy (LRU vs FIFO vs "
            "random)");
 
@@ -49,29 +51,39 @@ main()
     trace::Table table("200% oversubscription, PCIe-4");
     table.header({"Workload", "System", "Policy", "Runtime (ms)",
                   "Traffic (GB)"});
-    for (System sys : {System::kUvmOpt, System::kUvmDiscard}) {
-        for (uvm::EvictionPolicy policy : policies) {
-            uvm::UvmConfig cfg = base;
-            cfg.eviction_policy = policy;
-            RunResult fr = runFir(sys, fir,
-                                  interconnect::LinkSpec::pcie4(), cfg);
-            table.row({"FIR", toString(sys), uvm::toString(policy),
-                       trace::fmt(sim::toMilliseconds(fr.elapsed), 1),
-                       trace::fmt(fr.trafficGb())});
+
+    struct Config {
+        bool hashjoin;
+        System sys;
+        uvm::EvictionPolicy policy;
+    };
+    std::vector<Config> grid;
+    for (bool hashjoin : {false, true}) {
+        for (System sys : {System::kUvmOpt, System::kUvmDiscard}) {
+            for (uvm::EvictionPolicy policy : policies)
+                grid.push_back(Config{hashjoin, sys, policy});
         }
     }
-    for (System sys : {System::kUvmOpt, System::kUvmDiscard}) {
-        for (uvm::EvictionPolicy policy : policies) {
+    runIndexedSweep(
+        opt, grid.size(),
+        [&](std::size_t i) {
+            const Config &c = grid[i];
             uvm::UvmConfig cfg = base;
-            cfg.eviction_policy = policy;
-            RunResult hr = runHashJoin(
-                sys, hj, interconnect::LinkSpec::pcie4(), cfg);
-            table.row({"Hash-join", toString(sys),
-                       uvm::toString(policy),
-                       trace::fmt(sim::toMilliseconds(hr.elapsed), 1),
-                       trace::fmt(hr.trafficGb())});
-        }
-    }
+            cfg.eviction_policy = c.policy;
+            return c.hashjoin
+                       ? runHashJoin(c.sys, hj,
+                                     interconnect::LinkSpec::pcie4(),
+                                     cfg)
+                       : runFir(c.sys, fir,
+                                interconnect::LinkSpec::pcie4(), cfg);
+        },
+        [&](std::size_t i, RunResult &&r) {
+            const Config &c = grid[i];
+            table.row({c.hashjoin ? "Hash-join" : "FIR",
+                       toString(c.sys), uvm::toString(c.policy),
+                       trace::fmt(sim::toMilliseconds(r.elapsed), 1),
+                       trace::fmt(r.trafficGb())});
+        });
     table.print();
     table.writeCsv("ablation_eviction_policy.csv");
 

@@ -18,15 +18,17 @@
  */
 
 #include "bench_util.hpp"
+#include "sweep_runner.hpp"
 #include "workloads/radix_sort.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace uvmd;
     using namespace uvmd::bench;
     using namespace uvmd::workloads;
 
+    SweepOptions opt = parseSweepArgs(argc, argv);
     banner("Ablation: fault recovery cost (radix sort, PCIe-4)");
 
     // A smaller payload than Tables 5/6 keeps the grid quick while
@@ -51,35 +53,51 @@ main()
     trace::Table table("UvmDiscard, 125% oversubscription");
     table.header({"Recovery", "DMA fault rate", "Runtime (ms)",
                   "Overhead (%)", "Retries", "Pages retired"});
+
+    struct Config {
+        const Mode *mode;
+        double rate;
+    };
+    std::vector<Config> grid;
     for (const Mode &mode : modes) {
-        double baseline_ms = 0.0;
-        for (double rate : rates) {
+        for (double rate : rates)
+            grid.push_back(Config{&mode, rate});
+    }
+    // Each mode's rate == 0 run is its overhead baseline; it always
+    // precedes that mode's other rows in grid (and so consume) order.
+    double baseline_ms = 0.0;
+    runIndexedSweep(
+        opt, grid.size(),
+        [&](std::size_t i) {
+            const Config &c = grid[i];
             uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
-            if (rate > 0.0) {
+            if (c.rate > 0.0) {
                 cfg.faults.enabled = true;
                 cfg.faults.seed = 42;
-                cfg.faults.dma_fault_rate = rate;
+                cfg.faults.dma_fault_rate = c.rate;
                 cfg.faults.dma_max_retries = 16;
-                cfg.faults.chunk_retire_rate = mode.retire_rate;
+                cfg.faults.chunk_retire_rate = c.mode->retire_rate;
                 cfg.faults.chunk_retire_floor = 8;
             }
-            RunResult r =
-                runRadixSort(System::kUvmDiscard, params,
-                             interconnect::LinkSpec::pcie4(), cfg);
+            return runRadixSort(System::kUvmDiscard, params,
+                                interconnect::LinkSpec::pcie4(), cfg);
+        },
+        [&](std::size_t i, RunResult &&r) {
+            const Config &c = grid[i];
             double ms = sim::toMilliseconds(r.elapsed);
-            if (rate == 0.0)
+            if (c.rate == 0.0)
                 baseline_ms = ms;
             double overhead =
                 baseline_ms > 0.0
                     ? 100.0 * (ms - baseline_ms) / baseline_ms
                     : 0.0;
-            table.row({mode.name,
-                       rate == 0.0 ? "0 (baseline)" : trace::fmt(rate, 6),
+            table.row({c.mode->name,
+                       c.rate == 0.0 ? "0 (baseline)"
+                                     : trace::fmt(c.rate, 6),
                        trace::fmt(ms, 1), trace::fmt(overhead, 2),
                        std::to_string(r.transfer_retries),
                        std::to_string(r.pages_retired)});
-        }
-    }
+        });
     table.print();
     table.writeCsv("ablation_fault_recovery.csv");
 

@@ -15,6 +15,7 @@
 
 #include "bench_util.hpp"
 #include "cuda/runtime.hpp"
+#include "sweep_runner.hpp"
 
 namespace {
 
@@ -87,26 +88,30 @@ runScenario(bool honour_partial)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace uvmd;
     using namespace uvmd::bench;
 
+    SweepOptions opt = parseSweepArgs(argc, argv);
     banner("Ablation: partial-discard granularity (Section 5.4)");
 
     trace::Table table("Partial discards: ignore (paper) vs split");
     table.header({"Policy", "Runtime (ms)", "Traffic (GB)",
                   "Mapping splits", "Partial discards ignored",
                   "Transfers skipped (GB)"});
-    for (bool honour : {false, true}) {
-        Outcome o = runScenario(honour);
-        table.row({honour ? "split 2MB mappings" : "ignore (paper)",
-                   trace::fmt(sim::toMilliseconds(o.elapsed), 1),
-                   trace::fmt(o.traffic / 1e9),
-                   std::to_string(o.splits),
-                   std::to_string(o.ignored),
-                   trace::fmt(o.skipped / 1e9)});
-    }
+    const bool honour_grid[] = {false, true};
+    runIndexedSweep(
+        opt, 2, [&](std::size_t i) { return runScenario(honour_grid[i]); },
+        [&](std::size_t i, Outcome &&o) {
+            table.row({honour_grid[i] ? "split 2MB mappings"
+                                      : "ignore (paper)",
+                       trace::fmt(sim::toMilliseconds(o.elapsed), 1),
+                       trace::fmt(o.traffic / 1e9),
+                       std::to_string(o.splits),
+                       std::to_string(o.ignored),
+                       trace::fmt(o.skipped / 1e9)});
+        });
     table.print();
     table.writeCsv("ablation_granularity.csv");
 

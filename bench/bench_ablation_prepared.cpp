@@ -9,6 +9,7 @@
 
 #include "bench_util.hpp"
 #include "cuda/runtime.hpp"
+#include "sweep_runner.hpp"
 
 namespace {
 
@@ -55,22 +56,25 @@ runScenario(bool track)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace uvmd;
     using namespace uvmd::bench;
 
+    SweepOptions opt = parseSweepArgs(argc, argv);
     banner("Ablation: fully-prepared tracking (Section 5.7)");
 
     trace::Table table(
         "Re-arming discarded chunks with/without tracking");
     table.header({"Tracking", "Runtime (ms)", "Whole-chunk re-zeroes"});
-    for (bool track : {true, false}) {
-        Outcome o = runScenario(track);
-        table.row({track ? "on (paper)" : "off",
-                   trace::fmt(sim::toMilliseconds(o.elapsed), 2),
-                   std::to_string(o.rezero_ops)});
-    }
+    const bool track_grid[] = {true, false};
+    runIndexedSweep(
+        opt, 2, [&](std::size_t i) { return runScenario(track_grid[i]); },
+        [&](std::size_t i, Outcome &&o) {
+            table.row({track_grid[i] ? "on (paper)" : "off",
+                       trace::fmt(sim::toMilliseconds(o.elapsed), 2),
+                       std::to_string(o.rezero_ops)});
+        });
     table.print();
     table.writeCsv("ablation_prepared.csv");
 

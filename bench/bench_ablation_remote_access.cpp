@@ -19,6 +19,7 @@
 
 #include "bench_util.hpp"
 #include "cuda/runtime.hpp"
+#include "sweep_runner.hpp"
 
 namespace {
 
@@ -154,24 +155,41 @@ name(DeadPolicy p)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace uvmd;
     using namespace uvmd::bench;
 
+    SweepOptions opt = parseSweepArgs(argc, argv);
     banner("Extension: coherent remote access vs migration vs "
            "discard (Sections 2.3/3.2)");
 
+    const int reuse_grid[] = {1, 2, 4, 16};
+    const DeadPolicy dead_grid[] = {DeadPolicy::kMigrate,
+                                    DeadPolicy::kRemote,
+                                    DeadPolicy::kMigrateDiscard};
     for (auto link : {interconnect::LinkSpec::pcie4(),
                       interconnect::LinkSpec::nvlink()}) {
         trace::Table reuse("(a) 64 MiB read-only buffer, " +
                            link.name);
         reuse.header({"Reads", "Remote ms", "Remote GB", "Migrate ms",
                       "Migrate GB"});
-        for (int reuses : {1, 2, 4, 16}) {
-            Outcome r = runReuse(true, reuses, link);
-            Outcome m = runReuse(false, reuses, link);
-            reuse.row({std::to_string(reuses),
+        // One task per (reuse count, remote?) run; rows pair up the
+        // remote/migrate results, so buffer the outcomes first.
+        Outcome part_a[4][2];
+        runIndexedSweep(
+            opt, 8,
+            [&](std::size_t i) {
+                return runReuse(/*remote=*/i % 2 == 0,
+                                reuse_grid[i / 2], link);
+            },
+            [&](std::size_t i, Outcome &&o) {
+                part_a[i / 2][i % 2] = o;
+            });
+        for (std::size_t i = 0; i < 4; ++i) {
+            const Outcome &r = part_a[i][0];
+            const Outcome &m = part_a[i][1];
+            reuse.row({std::to_string(reuse_grid[i]),
                        trace::fmt(sim::toMilliseconds(r.elapsed), 2),
                        trace::fmt(r.traffic / 1e9, 3),
                        trace::fmt(sim::toMilliseconds(m.elapsed), 2),
@@ -183,13 +201,17 @@ main()
         trace::Table dead("(b) Figure-2 pattern on a coherent link, "
                           "12 iterations, " + link.name);
         dead.header({"Policy", "Runtime (ms)", "Link traffic (GB)"});
-        for (DeadPolicy p : {DeadPolicy::kMigrate, DeadPolicy::kRemote,
-                             DeadPolicy::kMigrateDiscard}) {
-            Outcome o = runDeadData(p, link);
-            dead.row({name(p),
-                      trace::fmt(sim::toMilliseconds(o.elapsed), 2),
-                      trace::fmt(o.traffic / 1e9, 3)});
-        }
+        runIndexedSweep(
+            opt, 3,
+            [&](std::size_t i) {
+                return runDeadData(dead_grid[i], link);
+            },
+            [&](std::size_t i, Outcome &&o) {
+                dead.row({name(dead_grid[i]),
+                          trace::fmt(sim::toMilliseconds(o.elapsed),
+                                     2),
+                          trace::fmt(o.traffic / 1e9, 3)});
+            });
         dead.print();
         dead.writeCsv("ablation_remote_dead_" + link.name + ".csv");
     }

@@ -11,12 +11,13 @@
 #include "dl_sweep.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace uvmd;
     using namespace uvmd::bench;
     using namespace uvmd::workloads;
 
+    SweepOptions opt = parseSweepArgs(argc, argv);
     banner("Figure 5: DL PCIe traffic vs batch size (PCIe-4)");
 
     // results[net][batch][system] = traffic GB
@@ -24,7 +25,7 @@ main()
         traffic;
     dlSweep({System::kUvmOpt, System::kUvmDiscard,
              System::kUvmDiscardLazy},
-            interconnect::LinkSpec::pcie4(),
+            interconnect::LinkSpec::pcie4(), opt,
             [&](const dl::NetSpec &net, int batch, System sys,
                 const dl::TrainResult &r) {
                 traffic[net.name][batch][sys] =

@@ -7,15 +7,17 @@
 #include <map>
 
 #include "bench_util.hpp"
+#include "sweep_runner.hpp"
 #include "workloads/fir.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace uvmd;
     using namespace uvmd::bench;
     using namespace uvmd::workloads;
 
+    SweepOptions opt = parseSweepArgs(argc, argv);
     banner("Tables 3+4: FIR normalized runtime and PCIe traffic");
 
     const System systems[] = {System::kUvmOpt, System::kUvmDiscard,
@@ -24,17 +26,33 @@ main()
         interconnect::LinkSpec::pcie3(),
         interconnect::LinkSpec::pcie4()};
 
-    // results[system][ratio][link_index]
-    std::map<System, std::map<double, RunResult[2]>> results;
+    struct Config {
+        int li;
+        double ratio;
+        System sys;
+    };
+    std::vector<Config> grid;
     for (int li = 0; li < 2; ++li) {
         for (double ratio : ovspRatios()) {
-            for (System sys : systems) {
-                FirParams p;
-                p.ovsp_ratio = ratio;
-                results[sys][ratio][li] = runFir(sys, p, links[li]);
-            }
+            for (System sys : systems)
+                grid.push_back(Config{li, ratio, sys});
         }
     }
+
+    // results[system][ratio][link_index]
+    std::map<System, std::map<double, RunResult[2]>> results;
+    runIndexedSweep(
+        opt, grid.size(),
+        [&](std::size_t i) {
+            const Config &c = grid[i];
+            FirParams p;
+            p.ovsp_ratio = c.ratio;
+            return runFir(c.sys, p, links[c.li]);
+        },
+        [&](std::size_t i, RunResult &&r) {
+            const Config &c = grid[i];
+            results[c.sys][c.ratio][c.li] = std::move(r);
+        });
 
     trace::Table t3("Table 3: normalized runtime of FIR (PCIe 3/4)");
     t3.header({"Ovsp. rate", "<100%", "200%", "300%", "400%"});

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Host-performance harness: measures how fast the *simulator itself*
+ * runs (wall-clock, not simulated time) and emits machine-readable
+ * JSON so CI can track the trajectory (`BENCH_perf.json`).
+ *
+ * Stages:
+ *   mask_ops         word-scan run extraction / countRuns / makeMask
+ *                    throughput, with the per-bit reference alongside
+ *                    so the speedup is measured, not assumed
+ *   event_queue      schedule/run and schedule/cancel events per
+ *                    second through sim::EventQueue
+ *   driver_discard   the discard -> re-arm prefetch driver cycle
+ *   runtime_stream   a small Runtime workload; reports simulated
+ *                    events per wall second from the event queue
+ *   dl_sweep         a reduced DL sweep, serial and (if --jobs > 1)
+ *                    parallel, for the sweep-level win
+ *
+ * Usage: bench_host_perf [--jobs N] [--out FILE] [--quick]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cuda/runtime.hpp"
+#include "dl_sweep.hpp"
+#include "sim/thread_pool.hpp"
+#include "sweep_runner.hpp"
+
+namespace {
+
+using namespace uvmd;
+using namespace uvmd::bench;
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+struct Metric {
+    std::string name;
+    double value;
+};
+
+struct BenchResult {
+    std::string name;
+    double wall_ms = 0.0;
+    std::vector<Metric> metrics;
+};
+
+uvm::PageMask
+fragmentedMask()
+{
+    uvm::PageMask mask;
+    for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
+        if ((p / 8) % 2 == 0)
+            mask.set(p);
+    }
+    return mask;
+}
+
+template <typename Fn>
+void
+naiveForEachRun(const uvm::PageMask &mask, Fn &&fn)
+{
+    std::size_t i = 0;
+    while (i < mem::kPagesPerBlock) {
+        if (!mask.test(i)) {
+            ++i;
+            continue;
+        }
+        std::size_t first = i;
+        while (i + 1 < mem::kPagesPerBlock && mask.test(i + 1))
+            ++i;
+        fn(static_cast<std::uint32_t>(first),
+           static_cast<std::uint32_t>(i));
+        ++i;
+    }
+}
+
+BenchResult
+benchMaskOps(int iters)
+{
+    BenchResult res;
+    res.name = "mask_ops";
+    const uvm::PageMask mask = fragmentedMask();
+    volatile std::uint64_t sink = 0;
+
+    Clock::time_point start = Clock::now();
+    Clock::time_point t0 = start;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < iters; ++i) {
+        mem::forEachRun(mask, [&](std::uint32_t f, std::uint32_t l) {
+            acc += l - f;
+        });
+    }
+    sink = acc;
+    double word_ms = msSince(t0);
+
+    t0 = Clock::now();
+    acc = 0;
+    for (int i = 0; i < iters; ++i) {
+        naiveForEachRun(mask, [&](std::uint32_t f, std::uint32_t l) {
+            acc += l - f;
+        });
+    }
+    sink = acc;
+    double naive_ms = msSince(t0);
+
+    t0 = Clock::now();
+    std::uint32_t runs = 0;
+    for (int i = 0; i < iters; ++i)
+        runs += mem::countRuns(mask);
+    sink = runs;
+    double count_ms = msSince(t0);
+
+    t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+        std::uint32_t first = static_cast<std::uint32_t>(i) % 256;
+        sink += uvm::makeMask(first, first + 255).count();
+    }
+    double make_ms = msSince(t0);
+    (void)sink;
+
+    res.wall_ms = msSince(start);
+    double n = iters;
+    res.metrics = {
+        {"foreachrun_per_sec", 1000.0 * n / word_ms},
+        {"foreachrun_naive_per_sec", 1000.0 * n / naive_ms},
+        {"foreachrun_speedup", naive_ms / word_ms},
+        {"countruns_per_sec", 1000.0 * n / count_ms},
+        {"makemask_per_sec", 1000.0 * n / make_ms},
+    };
+    return res;
+}
+
+BenchResult
+benchEventQueue(int events)
+{
+    BenchResult res;
+    res.name = "event_queue";
+    Clock::time_point start = Clock::now();
+
+    sim::EventQueue eq;
+    std::uint64_t fired = 0;
+    Clock::time_point t0 = Clock::now();
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < events / 10; ++i) {
+            eq.scheduleAfter((i * 7) % 1000 + 1,
+                             [&fired] { ++fired; });
+        }
+        eq.runAll();
+    }
+    double run_ms = msSince(t0);
+
+    t0 = Clock::now();
+    std::vector<sim::EventId> ids;
+    ids.reserve(events / 10);
+    std::uint64_t cancelled = 0;
+    for (int round = 0; round < 10; ++round) {
+        ids.clear();
+        for (int i = 0; i < events / 10; ++i) {
+            ids.push_back(eq.scheduleAfter(1'000'000 + i, [] {}));
+        }
+        for (sim::EventId id : ids)
+            cancelled += eq.cancel(id) ? 1 : 0;
+    }
+    double cancel_ms = msSince(t0);
+
+    res.wall_ms = msSince(start);
+    res.metrics = {
+        {"schedule_run_per_sec", 1000.0 * fired / run_ms},
+        {"schedule_cancel_per_sec", 1000.0 * cancelled / cancel_ms},
+    };
+    return res;
+}
+
+BenchResult
+benchDriverDiscard(int cycles)
+{
+    BenchResult res;
+    res.name = "driver_discard";
+    Clock::time_point start = Clock::now();
+
+    uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+    cfg.gpu_memory = 1024 * mem::kBigPageSize;
+    uvm::UvmDriver drv(cfg, interconnect::LinkSpec::pcie4());
+    sim::Bytes size = 128 * mem::kBigPageSize;
+    mem::VirtAddr base = drv.allocManaged(size, "perf");
+    sim::SimTime t = drv.prefetch(base, size, uvm::ProcessorId::gpu(0), 0);
+    for (int i = 0; i < cycles; ++i) {
+        t = drv.discard(base, size, uvm::DiscardMode::kEager, t);
+        t = drv.prefetch(base, size, uvm::ProcessorId::gpu(0), t);
+    }
+
+    res.wall_ms = msSince(start);
+    res.metrics = {
+        {"discard_rearm_per_sec", 1000.0 * cycles / res.wall_ms},
+    };
+    return res;
+}
+
+BenchResult
+benchRuntimeStream(int iters)
+{
+    BenchResult res;
+    res.name = "runtime_stream";
+    Clock::time_point start = Clock::now();
+
+    uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+    cfg.gpu_memory = 256 * mem::kBigPageSize;
+    cuda::Runtime rt(cfg, interconnect::LinkSpec::pcie4());
+    const sim::Bytes buf_size = 64 * mem::kBigPageSize;
+    mem::VirtAddr buf = rt.mallocManaged(buf_size, "perf.buf");
+    for (int i = 0; i < iters; ++i) {
+        rt.prefetchAsync(buf, buf_size, uvm::ProcessorId::gpu(0));
+        cuda::KernelDesc k;
+        k.name = "perf.kernel";
+        k.accesses = {{buf, buf_size, uvm::AccessKind::kReadWrite}};
+        k.compute = sim::microseconds(100);
+        rt.launch(k);
+        rt.discardAsync(buf, buf_size, uvm::DiscardMode::kEager);
+    }
+    rt.synchronize();
+
+    res.wall_ms = msSince(start);
+    double events = static_cast<double>(rt.eventQueue().executed());
+    res.metrics = {
+        {"simulated_events", events},
+        {"events_per_sec", 1000.0 * events / res.wall_ms},
+    };
+    return res;
+}
+
+BenchResult
+benchDlSweep(int jobs, bool quick)
+{
+    BenchResult res;
+    res.name = jobs > 1 ? "dl_sweep_jobs" + std::to_string(jobs)
+                        : "dl_sweep_serial";
+
+    // A reduced grid: one network, the serial sweep stays seconds.
+    std::vector<workloads::System> systems = {
+        workloads::System::kUvmOpt, workloads::System::kUvmDiscard};
+    uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+    const auto nets = workloads::dl::NetSpec::all();
+    const workloads::dl::NetSpec &net = nets.front();  // VGG-16
+    std::vector<int> batches = quick ? std::vector<int>{40, 60}
+                                     : std::vector<int>{40, 60, 75};
+
+    struct Config {
+        int batch;
+        workloads::System sys;
+    };
+    std::vector<Config> grid;
+    for (int batch : batches) {
+        for (workloads::System sys : systems)
+            grid.push_back(Config{batch, sys});
+    }
+
+    Clock::time_point start = Clock::now();
+    SweepOptions opt;
+    opt.jobs = jobs;
+    double checksum = 0.0;
+    runIndexedSweep(
+        opt, grid.size(),
+        [&](std::size_t i) {
+            workloads::dl::TrainParams p;
+            p.net = net;
+            p.batch_size = grid[i].batch;
+            return workloads::dl::runTraining(
+                grid[i].sys, p, interconnect::LinkSpec::pcie4(), cfg);
+        },
+        [&](std::size_t, workloads::dl::TrainResult &&r) {
+            checksum += r.throughput;
+        });
+    res.wall_ms = msSince(start);
+    res.metrics = {
+        {"configs", static_cast<double>(grid.size())},
+        {"throughput_checksum", checksum},
+    };
+    return res;
+}
+
+void
+writeJson(const std::string &path, int jobs,
+          const std::vector<BenchResult> &benches)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n  \"schema\": \"uvmd-perf-v1\",\n");
+    std::fprintf(
+        f, "  \"host\": { \"cores\": %zu, \"jobs\": %d },\n",
+        sim::ThreadPool::hardwareConcurrency(), jobs);
+    std::fprintf(f, "  \"benches\": [\n");
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const BenchResult &b = benches[i];
+        std::fprintf(f,
+                     "    { \"name\": \"%s\", \"wall_ms\": %.3f, "
+                     "\"metrics\": {",
+                     b.name.c_str(), b.wall_ms);
+        for (std::size_t m = 0; m < b.metrics.size(); ++m) {
+            std::fprintf(f, "%s \"%s\": %.3f",
+                         m == 0 ? "" : ",",
+                         b.metrics[m].name.c_str(),
+                         b.metrics[m].value);
+        }
+        std::fprintf(f, " } }%s\n",
+                     i + 1 < benches.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    int jobs = 1;
+    bool quick = false;
+    std::string out;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+            jobs = parseJobsValue(argv[++i]);
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            jobs = parseJobsValue(arg + 7);
+        } else if (std::strcmp(arg, "--out") == 0 && i + 1 < argc) {
+            out = argv[++i];
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            quick = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--out FILE] [--quick]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    banner("Host-performance harness (simulator wall-clock)");
+
+    const int scale = quick ? 1 : 10;
+    std::vector<BenchResult> benches;
+    benches.push_back(benchMaskOps(100'000 * scale));
+    benches.push_back(benchEventQueue(100'000 * scale));
+    benches.push_back(benchDriverDiscard(2'000 * scale));
+    benches.push_back(benchRuntimeStream(200 * scale));
+    benches.push_back(benchDlSweep(1, quick));
+    if (jobs > 1)
+        benches.push_back(benchDlSweep(jobs, quick));
+
+    trace::Table table("Host perf (wall-clock of the simulator)");
+    table.header({"Bench", "Wall (ms)", "Key metric"});
+    for (const BenchResult &b : benches) {
+        std::string key = "-";
+        if (!b.metrics.empty()) {
+            key = b.metrics[0].name + " = " +
+                  trace::fmt(b.metrics[0].value, 1);
+        }
+        table.row({b.name, trace::fmt(b.wall_ms, 1), key});
+    }
+    table.print();
+
+    if (!out.empty())
+        writeJson(out, jobs, benches);
+    return 0;
+}

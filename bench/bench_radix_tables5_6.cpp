@@ -10,15 +10,17 @@
 #include <map>
 
 #include "bench_util.hpp"
+#include "sweep_runner.hpp"
 #include "workloads/radix_sort.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace uvmd;
     using namespace uvmd::bench;
     using namespace uvmd::workloads;
 
+    SweepOptions opt = parseSweepArgs(argc, argv);
     banner("Tables 5+6: Radix-sort normalized runtime and traffic");
 
     const System systems[] = {System::kUvmOpt, System::kUvmDiscard,
@@ -27,17 +29,32 @@ main()
         interconnect::LinkSpec::pcie3(),
         interconnect::LinkSpec::pcie4()};
 
-    std::map<System, std::map<double, RunResult[2]>> results;
+    struct Config {
+        int li;
+        double ratio;
+        System sys;
+    };
+    std::vector<Config> grid;
     for (int li = 0; li < 2; ++li) {
         for (double ratio : ovspRatios()) {
-            for (System sys : systems) {
-                RadixParams p;
-                p.ovsp_ratio = ratio;
-                results[sys][ratio][li] =
-                    runRadixSort(sys, p, links[li]);
-            }
+            for (System sys : systems)
+                grid.push_back(Config{li, ratio, sys});
         }
     }
+
+    std::map<System, std::map<double, RunResult[2]>> results;
+    runIndexedSweep(
+        opt, grid.size(),
+        [&](std::size_t i) {
+            const Config &c = grid[i];
+            RadixParams p;
+            p.ovsp_ratio = c.ratio;
+            return runRadixSort(c.sys, p, links[c.li]);
+        },
+        [&](std::size_t i, RunResult &&r) {
+            const Config &c = grid[i];
+            results[c.sys][c.ratio][c.li] = std::move(r);
+        });
 
     trace::Table t5(
         "Table 5: normalized runtime of Radix-sort (PCIe-3/4)");

@@ -7,10 +7,10 @@
 #ifndef UVMD_BENCH_DL_SWEEP_HPP
 #define UVMD_BENCH_DL_SWEEP_HPP
 
-#include <functional>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "sweep_runner.hpp"
 #include "workloads/dl/trainer.hpp"
 
 namespace uvmd::bench {
@@ -31,34 +31,55 @@ batchGrid(const workloads::dl::NetSpec &net)
 
 /**
  * Run every (network, batch, system) combination on @p link and hand
- * each result to @p consume.  No-UVM is skipped (as in the paper's
- * figures) once the allocation no longer fits.
+ * each result to @p consume, always in grid order (network-major, as
+ * the serial loops always ran).  No-UVM is skipped (as in the paper's
+ * figures) once the allocation no longer fits.  With opt.jobs > 1 the
+ * independent training runs execute on a thread pool; consume still
+ * sees them serially in grid order, so figure output is identical.
  */
-inline void
+template <typename Consume>
+void
 dlSweep(const std::vector<workloads::System> &systems,
-        interconnect::LinkSpec link,
-        const std::function<void(const workloads::dl::NetSpec &, int,
-                                 workloads::System,
-                                 const workloads::dl::TrainResult &)>
-            &consume)
+        interconnect::LinkSpec link, const SweepOptions &opt,
+        Consume &&consume)
 {
+    using workloads::System;
+    namespace dl = workloads::dl;
+
     uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
-    for (const auto &net : workloads::dl::NetSpec::all()) {
-        for (int batch : batchGrid(net)) {
-            for (workloads::System sys : systems) {
-                if (sys == workloads::System::kNoUvm &&
-                    net.allocBytes(batch) > cfg.gpu_memory) {
+    const std::vector<dl::NetSpec> nets = dl::NetSpec::all();
+
+    struct Config {
+        std::size_t net;
+        int batch;
+        System sys;
+    };
+    std::vector<Config> grid;
+    for (std::size_t n = 0; n < nets.size(); ++n) {
+        for (int batch : batchGrid(nets[n])) {
+            for (System sys : systems) {
+                if (sys == System::kNoUvm &&
+                    nets[n].allocBytes(batch) > cfg.gpu_memory) {
                     continue;
                 }
-                workloads::dl::TrainParams p;
-                p.net = net;
-                p.batch_size = batch;
-                workloads::dl::TrainResult r =
-                    workloads::dl::runTraining(sys, p, link, cfg);
-                consume(net, batch, sys, r);
+                grid.push_back(Config{n, batch, sys});
             }
         }
     }
+
+    runIndexedSweep(
+        opt, grid.size(),
+        [&](std::size_t i) {
+            const Config &c = grid[i];
+            dl::TrainParams p;
+            p.net = nets[c.net];
+            p.batch_size = c.batch;
+            return dl::runTraining(c.sys, p, link, cfg);
+        },
+        [&](std::size_t i, dl::TrainResult &&r) {
+            const Config &c = grid[i];
+            consume(nets[c.net], c.batch, c.sys, r);
+        });
 }
 
 }  // namespace uvmd::bench

@@ -4,7 +4,11 @@
 #   1. the tier-1 suite (default build, all tests),
 #   2. the chaos suite explicitly (label `chaos`: randomized fault
 #      schedules against a fault-free reference),
-#   3. the sanitized suite (asan+ubsan build, label `sanitized`).
+#   3. the sanitized suite (asan+ubsan build, label `sanitized`),
+#   4. a perf smoke stage (release build): bench_host_perf emits
+#      BENCH_perf.json, and one table sweep runs serial and parallel
+#      with the CSVs asserted bit-identical (the --jobs determinism
+#      contract, docs/performance.md).
 #
 # Usage: scripts/ci.sh [-j N]
 set -euo pipefail
@@ -34,5 +38,23 @@ ctest --test-dir build -L chaos --output-on-failure -j "$JOBS"
 
 echo "== sanitized tests (asan build) =="
 ctest --preset asan -j "$JOBS"
+
+echo "== configure + build (release) =="
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+
+echo "== perf smoke (release build) =="
+build-release/bench/bench_host_perf --quick --jobs "$JOBS" \
+    --out build-release/BENCH_perf.json
+
+echo "== sweep determinism: serial vs parallel CSVs =="
+rm -rf build-release/sweep-serial build-release/sweep-parallel
+mkdir -p build-release/sweep-serial build-release/sweep-parallel
+(cd build-release/sweep-serial &&
+ ../bench/bench_fir_tables3_4 --jobs 1 > bench.out)
+(cd build-release/sweep-parallel &&
+ ../bench/bench_fir_tables3_4 --jobs 4 > bench.out)
+diff -r build-release/sweep-serial build-release/sweep-parallel
+echo "serial and parallel sweep outputs are bit-identical."
 
 echo "CI: all suites passed."

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Host-performance trajectory: build the release preset (-O3, LTO) and
+# run the bench_host_perf harness, writing BENCH_perf.json (per-stage
+# wall-time, simulated-events/sec, mask-op throughput).  With -F the
+# full figure/table harnesses are timed as well and appended to the
+# JSON (slow: minutes, not seconds).
+#
+# Usage: scripts/perf.sh [-j N] [-q] [-F] [-o FILE]
+#   -j N   worker threads for the parallel sweep stages
+#          (default: all hardware threads; 1 disables the pool)
+#   -q     quick mode — reduced iteration counts, for CI smoke
+#   -F     also time bench_fig5/6/7 and the table harnesses
+#   -o F   output JSON path (default: BENCH_perf.json in the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+QUICK=""
+FULL=0
+OUT="$PWD/BENCH_perf.json"
+while getopts "j:qFo:" flag; do
+    case "$flag" in
+      j) JOBS="$OPTARG" ;;
+      q) QUICK="--quick" ;;
+      F) FULL=1 ;;
+      o) OUT="$OPTARG" ;;
+      *) echo "usage: $0 [-j N] [-q] [-F] [-o FILE]" >&2; exit 2 ;;
+    esac
+done
+
+echo "== configure + build (release preset) =="
+cmake --preset release
+cmake --build --preset release -j "$JOBS"
+
+echo "== bench_host_perf (jobs=$JOBS) =="
+build-release/bench/bench_host_perf --jobs "$JOBS" $QUICK --out "$OUT"
+
+if [ "$FULL" -eq 1 ]; then
+    echo "== full harness timings (jobs=$JOBS) =="
+    workdir=$(mktemp -d)
+    trap 'rm -rf "$workdir"' EXIT
+    timings=""
+    for bench in bench_fig5_dl_traffic bench_fig6_dl_throughput_pcie4 \
+                 bench_fig7_dl_throughput_pcie3 bench_fir_tables3_4 \
+                 bench_radix_tables5_6 bench_hashjoin_tables7_8; do
+        start=$(date +%s%N)
+        (cd "$workdir" &&
+         "$OLDPWD/build-release/bench/$bench" --jobs "$JOBS" \
+             > "$bench.out")
+        end=$(date +%s%N)
+        ms=$(( (end - start) / 1000000 ))
+        echo "  $bench: ${ms} ms"
+        timings="$timings $bench=$ms"
+    done
+    # Fold the harness timings into the JSON when python3 is around;
+    # otherwise they remain on stdout only.
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - "$OUT" $timings <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path) as f:
+    doc = json.load(f)
+for spec in sys.argv[2:]:
+    name, ms = spec.rsplit("=", 1)
+    doc["benches"].append(
+        {"name": name, "wall_ms": float(ms), "metrics": {}})
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"merged harness timings into {path}")
+EOF
+    else
+        echo "python3 not found; harness timings not merged into JSON"
+    fi
+fi
+
+echo "perf: done — $OUT"

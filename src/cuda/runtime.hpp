@@ -166,6 +166,10 @@ class Runtime
 
     uvm::UvmDriver &driver() { return driver_; }
 
+    /** The runtime's event queue (host-perf metrics: executed event
+     *  count feeds the simulated-events/sec figure). */
+    const sim::EventQueue &eventQueue() const { return queue_; }
+
     /** Sticky error from asynchronously-executed work (e.g. a kernel
      *  that hit true memory exhaustion), like cudaPeekAtLastError. */
     CudaError lastError() const { return last_error_; }

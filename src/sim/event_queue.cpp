@@ -1,21 +1,46 @@
 #include "sim/event_queue.hpp"
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "sim/logging.hpp"
 
 namespace uvmd::sim {
+
+namespace {
+
+/** Don't bother compacting tiny heaps: lazy pops handle them. */
+constexpr std::size_t kCompactMin = 16;
+
+constexpr EventId
+makeId(std::uint32_t slot, std::uint32_t gen)
+{
+    return (static_cast<EventId>(gen) << 32) | slot;
+}
+
+}  // namespace
 
 EventId
 EventQueue::scheduleAt(SimTime when, Callback cb)
 {
     if (when < now_)
         panic("EventQueue::scheduleAt: scheduling in the past");
-    EventId id = next_id_++;
-    heap_.push(Entry{when, next_seq_++, id});
-    live_.emplace(id, std::move(cb));
+
+    std::uint32_t slot;
+    if (!free_.empty()) {
+        slot = free_.back();
+        free_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    Slot &s = slots_[slot];
+    s.cb = std::move(cb);
+    s.live = true;
+
+    heap_.push_back(Entry{when, next_seq_++, slot, s.gen});
+    std::push_heap(heap_.begin(), heap_.end());
     ++pending_;
-    return id;
+    return makeId(slot, s.gen);
 }
 
 EventId
@@ -27,28 +52,68 @@ EventQueue::scheduleAfter(SimDuration delay, Callback cb)
 }
 
 bool
+EventQueue::isLive(const Entry &e) const
+{
+    const Slot &s = slots_[e.slot];
+    return s.live && s.gen == e.gen;
+}
+
+bool
 EventQueue::cancel(EventId id)
 {
-    auto it = live_.find(id);
-    if (it == live_.end())
+    std::uint32_t slot = static_cast<std::uint32_t>(id);
+    std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slots_.size())
         return false;
-    live_.erase(it);
+    Slot &s = slots_[slot];
+    if (!s.live || s.gen != gen)
+        return false;
+    s.cb.reset();
+    s.live = false;
+    ++s.gen;
+    free_.push_back(slot);
     --pending_;
+    maybeCompact();
     return true;
+}
+
+void
+EventQueue::popEntry()
+{
+    std::pop_heap(heap_.begin(), heap_.end());
+    heap_.pop_back();
+}
+
+void
+EventQueue::maybeCompact()
+{
+    std::size_t dead = heap_.size() - pending_;
+    if (dead < kCompactMin || dead * 2 <= heap_.size())
+        return;
+    std::erase_if(heap_,
+                  [this](const Entry &e) { return !isLive(e); });
+    std::make_heap(heap_.begin(), heap_.end());
 }
 
 bool
 EventQueue::step()
 {
     while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        auto it = live_.find(e.id);
-        if (it == live_.end())
+        Entry e = heap_.front();
+        popEntry();
+        if (!isLive(e))
             continue;  // cancelled; skip lazily
-        Callback cb = std::move(it->second);
-        live_.erase(it);
+
+        // Free the slot before invoking: the callback may reschedule
+        // (and so reuse this slot) or cancel other events.
+        Slot &s = slots_[e.slot];
+        Callback cb = std::move(s.cb);
+        s.cb.reset();
+        s.live = false;
+        ++s.gen;
+        free_.push_back(e.slot);
         --pending_;
+        ++executed_;
         now_ = e.when;
         cb();
         return true;
@@ -69,9 +134,9 @@ EventQueue::runUntil(SimTime deadline)
 {
     while (!heap_.empty()) {
         // Peek past cancelled entries without executing.
-        Entry e = heap_.top();
-        if (!live_.count(e.id)) {
-            heap_.pop();
+        const Entry &e = heap_.front();
+        if (!isLive(e)) {
+            popEntry();
             continue;
         }
         if (e.when > deadline)

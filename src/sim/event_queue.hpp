@@ -7,28 +7,37 @@
  * CUDA runtime schedules stream-operation completions here; driver
  * helpers use it for deferred work such as delayed reclamation and
  * periodic statistics sampling.
+ *
+ * Storage is allocation-free in steady state: callbacks live in a
+ * slot vector (small-buffer InplaceFunction, slots recycled through a
+ * free list) and the heap is a plain binary heap over (time, seq)
+ * keys.  An EventId encodes slot index plus a generation counter so a
+ * stale handle can never cancel a recycled slot.  cancel() clears the
+ * slot in O(1); its heap entry is skipped lazily on pop, and the heap
+ * is compacted when dead entries outnumber live ones (so a workload
+ * that cancels most of what it schedules — timeout patterns — cannot
+ * grow the heap without bound).
  */
 
 #ifndef UVMD_SIM_EVENT_QUEUE_HPP
 #define UVMD_SIM_EVENT_QUEUE_HPP
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/function.hpp"
 #include "sim/time.hpp"
 
 namespace uvmd::sim {
 
-/** Handle used to cancel a scheduled event. */
+/** Handle used to cancel a scheduled event.  Encodes (generation <<
+ *  32) | slot; 0 is never a valid id (generations start at 1). */
 using EventId = std::uint64_t;
 
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InplaceFunction<void()>;
 
     /** Current simulated time. */
     SimTime now() const { return now_; }
@@ -36,6 +45,15 @@ class EventQueue
     /** Number of pending (non-cancelled) events. */
     std::size_t pending() const { return pending_; }
     bool empty() const { return pending_ == 0; }
+
+    /** Total events executed over the queue's lifetime (the
+     *  numerator of the events/sec host-perf metric). */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Heap entries currently held, including cancelled ones that
+     *  have not been popped or compacted yet (introspection for the
+     *  compaction regression test). */
+    std::size_t heapSize() const { return heap_.size(); }
 
     /**
      * Schedule @p cb to run at absolute time @p when.
@@ -68,26 +86,38 @@ class EventQueue
     bool step();
 
   private:
+    struct Slot {
+        Callback cb;
+        std::uint32_t gen = 1;
+        bool live = false;
+    };
+
     struct Entry {
         SimTime when;
         std::uint64_t seq;
-        EventId id;
+        std::uint32_t slot;
+        std::uint32_t gen;
 
+        // std::push_heap builds a max-heap; invert so the top entry
+        // is the earliest (time, seq).
         bool
-        operator>(const Entry &o) const
+        operator<(const Entry &o) const
         {
             return when != o.when ? when > o.when : seq > o.seq;
         }
     };
 
+    bool isLive(const Entry &e) const;
+    void popEntry();
+    void maybeCompact();
+
     SimTime now_ = 0;
     std::uint64_t next_seq_ = 0;
-    EventId next_id_ = 1;
     std::size_t pending_ = 0;
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    // Callbacks (and liveness) are kept out of the heap so cancel() is
-    // O(1); dead heap entries are skipped lazily on pop.
-    std::unordered_map<EventId, Callback> live_;
+    std::uint64_t executed_ = 0;
+    std::vector<Entry> heap_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> free_;  // recycled slot indices
 };
 
 }  // namespace uvmd::sim

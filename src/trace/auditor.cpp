@@ -25,10 +25,8 @@ Auditor::onTransfer(const uvm::VaBlock &block,
         auto &extra = dir == Direction::kHostToDevice
                           ? audit.extra_h2d
                           : audit.extra_d2h;
-        for (std::uint32_t p = 0; p < mem::kPagesPerBlock; ++p) {
-            if (dup.test(p))
-                ++extra[p];
-        }
+        mem::forEachSetPage(dup,
+                            [&](std::uint32_t p) { ++extra[p]; });
     }
     open |= pages;
     open_bytes_ += pages.count() * mem::kSmallPageSize;

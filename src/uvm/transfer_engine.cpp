@@ -85,12 +85,8 @@ TransferEngine::submit(const TransferRequest &req, sim::SimTime start)
     // coalescing: the first descriptor of this request can merge with
     // the previous request's last descriptor when the two are
     // virtually contiguous (the adjacent-block case of one prefetch).
-    std::uint32_t first_page = 0;
-    while (!req.pages.test(first_page))
-        ++first_page;
-    std::uint32_t last_page = mem::kPagesPerBlock - 1;
-    while (!req.pages.test(last_page))
-        --last_page;
+    std::uint32_t first_page = mem::firstSet(req.pages);
+    std::uint32_t last_page = mem::lastSet(req.pages);
     mem::VirtAddr first_addr =
         req.block->base + first_page * mem::kSmallPageSize;
     mem::VirtAddr end_addr =

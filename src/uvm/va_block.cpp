@@ -11,10 +11,7 @@ makeMask(std::uint32_t first, std::uint32_t last)
 {
     if (first > last || last >= mem::kPagesPerBlock)
         sim::panic("makeMask: bad page range");
-    PageMask mask;
-    for (std::uint32_t i = first; i <= last; ++i)
-        mask.set(i);
-    return mask;
+    return mem::makeRunMask<mem::kPagesPerBlock>(first, last);
 }
 
 PageMask

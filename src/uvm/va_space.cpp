@@ -64,8 +64,8 @@ VaSpace::blockOf(mem::VirtAddr addr)
 
 void
 VaSpace::forEachBlock(mem::VirtAddr addr, sim::Bytes size,
-                      const std::function<void(VaBlock &,
-                                               const PageMask &)> &fn)
+                      sim::FunctionRef<void(VaBlock &,
+                                            const PageMask &)> fn)
 {
     if (size == 0)
         return;
@@ -85,7 +85,7 @@ VaSpace::forEachBlock(mem::VirtAddr addr, sim::Bytes size,
 }
 
 void
-VaSpace::forEachBlockAll(const std::function<void(VaBlock &)> &fn)
+VaSpace::forEachBlockAll(sim::FunctionRef<void(VaBlock &)> fn)
 {
     for (auto &kv : ranges_) {
         for (auto &block : kv.second.blocks)

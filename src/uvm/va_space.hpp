@@ -11,12 +11,13 @@
 #ifndef UVMD_UVM_VA_SPACE_HPP
 #define UVMD_UVM_VA_SPACE_HPP
 
-#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/function.hpp"
 #include "uvm/va_block.hpp"
 
 namespace uvmd::uvm {
@@ -55,14 +56,19 @@ class VaSpace
      * in address order, with the per-block page mask restricted to
      * the intersection of the span and the block's valid pages.
      * @pre the whole span lies within managed ranges.
+     *
+     * Takes a FunctionRef (not std::function): this runs under every
+     * driver operation, and the non-owning view avoids a wrapper
+     * construction per call.
      */
     void forEachBlock(mem::VirtAddr addr, sim::Bytes size,
-                      const std::function<void(VaBlock &,
-                                               const PageMask &)> &fn);
+                      sim::FunctionRef<void(VaBlock &,
+                                            const PageMask &)> fn);
 
     /** Invoke @p fn for every block of every range (invariant checks,
-     *  whole-space statistics).  Order is unspecified. */
-    void forEachBlockAll(const std::function<void(VaBlock &)> &fn);
+     *  whole-space statistics, eviction-candidate scans), in
+     *  ascending address order regardless of hash layout. */
+    void forEachBlockAll(sim::FunctionRef<void(VaBlock &)> fn);
 
     std::size_t rangeCount() const { return ranges_.size(); }
     std::size_t blockCount() const { return block_index_.size(); }
@@ -72,7 +78,11 @@ class VaSpace
     // Leave a guard gap between ranges so off-by-one accesses fault
     // loudly instead of touching a neighbouring allocation.
     mem::VirtAddr next_base_ = mem::VirtAddr{1} << 40;
-    std::unordered_map<std::uint32_t, VaRange> ranges_;
+    // Ordered by id, which is creation order and therefore (the bump
+    // allocator never reuses addresses) ascending base address:
+    // forEachBlockAll must be deterministic for eviction scans and
+    // invariant dumps.
+    std::map<std::uint32_t, VaRange> ranges_;
     std::unordered_map<mem::VirtAddr, std::uint32_t> range_by_base_;
     std::unordered_map<std::uint64_t, VaBlock *> block_index_;
 };

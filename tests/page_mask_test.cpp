@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Property tests for the word-scan page-mask helpers: every helper in
+ * mem/page.hpp is compared against a naive per-bit reference over
+ * structured edge-case masks (empty, full, alternating, single-bit,
+ * word-boundary-straddling runs) and randomized masks, plus
+ * uvm::makeMask / maskForRange which are built on them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "mem/page.hpp"
+#include "sim/random.hpp"
+#include "uvm/va_block.hpp"
+
+namespace uvmd {
+namespace {
+
+constexpr std::size_t N = mem::kPagesPerBlock;  // 512
+using Mask = std::bitset<N>;
+using Run = std::pair<std::uint32_t, std::uint32_t>;
+
+// ----------------------------------------------------------------
+// Naive per-bit reference implementations
+// ----------------------------------------------------------------
+
+std::vector<Run>
+refRuns(const Mask &mask)
+{
+    std::vector<Run> runs;
+    std::size_t i = 0;
+    while (i < N) {
+        if (!mask.test(i)) {
+            ++i;
+            continue;
+        }
+        std::size_t first = i;
+        while (i + 1 < N && mask.test(i + 1))
+            ++i;
+        runs.emplace_back(static_cast<std::uint32_t>(first),
+                          static_cast<std::uint32_t>(i));
+        ++i;
+    }
+    return runs;
+}
+
+std::vector<std::uint32_t>
+refSetPages(const Mask &mask)
+{
+    std::vector<std::uint32_t> pages;
+    for (std::uint32_t p = 0; p < N; ++p) {
+        if (mask.test(p))
+            pages.push_back(p);
+    }
+    return pages;
+}
+
+std::vector<Run>
+wordRuns(const Mask &mask)
+{
+    std::vector<Run> runs;
+    mem::forEachRun(mask, [&](std::uint32_t f, std::uint32_t l) {
+        runs.emplace_back(f, l);
+    });
+    return runs;
+}
+
+void
+checkAllHelpers(const Mask &mask)
+{
+    const std::vector<Run> expect = refRuns(mask);
+    EXPECT_EQ(wordRuns(mask), expect);
+    EXPECT_EQ(mem::countRuns(mask), expect.size());
+
+    std::vector<std::uint32_t> pages;
+    mem::forEachSetPage(mask, [&](std::uint32_t p) {
+        pages.push_back(p);
+    });
+    EXPECT_EQ(pages, refSetPages(mask));
+
+    if (expect.empty()) {
+        EXPECT_EQ(mem::firstSet(mask), N);
+        EXPECT_EQ(mem::lastSet(mask), N);
+    } else {
+        EXPECT_EQ(mem::firstSet(mask), expect.front().first);
+        EXPECT_EQ(mem::lastSet(mask), expect.back().second);
+    }
+}
+
+// ----------------------------------------------------------------
+// Edge-case masks
+// ----------------------------------------------------------------
+
+TEST(PageMask, EmptyAndFull)
+{
+    checkAllHelpers(Mask{});
+    Mask full;
+    full.set();
+    checkAllHelpers(full);
+    EXPECT_EQ(mem::countRuns(full), 1u);
+}
+
+TEST(PageMask, SingleBits)
+{
+    // Every position, including both bitset ends and both sides of
+    // every 64-bit word boundary.
+    for (std::uint32_t p : {0u, 1u, 62u, 63u, 64u, 65u, 127u, 128u,
+                            255u, 256u, 510u, 511u}) {
+        Mask mask;
+        mask.set(p);
+        checkAllHelpers(mask);
+        EXPECT_EQ(mem::firstSet(mask), p);
+        EXPECT_EQ(mem::lastSet(mask), p);
+    }
+}
+
+TEST(PageMask, Alternating)
+{
+    Mask odd, even, pairs;
+    for (std::uint32_t p = 0; p < N; ++p) {
+        if (p % 2)
+            odd.set(p);
+        else
+            even.set(p);
+        if ((p / 2) % 2 == 0)
+            pairs.set(p);
+    }
+    checkAllHelpers(odd);
+    checkAllHelpers(even);
+    checkAllHelpers(pairs);
+    EXPECT_EQ(mem::countRuns(odd), N / 2);
+}
+
+TEST(PageMask, WordBoundaryStraddlingRuns)
+{
+    // Runs that start, end, or span across every 64-bit boundary.
+    for (std::uint32_t boundary : {64u, 128u, 256u, 448u}) {
+        for (std::uint32_t before : {1u, 3u, 64u}) {
+            for (std::uint32_t after : {1u, 3u, 64u}) {
+                Mask mask;
+                std::uint32_t first = boundary - before;
+                std::uint32_t last = boundary + after - 1;
+                for (std::uint32_t p = first; p <= last; ++p)
+                    mask.set(p);
+                checkAllHelpers(mask);
+                EXPECT_EQ(mem::countRuns(mask), 1u);
+                EXPECT_EQ((mem::makeRunMask<N>(first, last)), mask);
+            }
+        }
+    }
+}
+
+TEST(PageMask, WholeWordRuns)
+{
+    // Runs covering exactly one or more whole words exercise the
+    // open-run carry path where countr_one(x) == 64.
+    for (std::uint32_t words : {1u, 2u, 7u}) {
+        for (std::uint32_t start_word : {0u, 1u, 8u - words}) {
+            Mask mask;
+            std::uint32_t first = start_word * 64;
+            std::uint32_t last = first + words * 64 - 1;
+            for (std::uint32_t p = first; p <= last; ++p)
+                mask.set(p);
+            checkAllHelpers(mask);
+            EXPECT_EQ(mem::countRuns(mask), 1u);
+        }
+    }
+}
+
+TEST(PageMask, RandomizedAgainstReference)
+{
+    sim::Rng rng(0xfeedbeef);
+    for (int trial = 0; trial < 2000; ++trial) {
+        Mask mask;
+        // Mix densities: sparse bits, dense bits, and random runs.
+        switch (trial % 3) {
+          case 0:
+            for (std::uint32_t p = 0; p < N; ++p) {
+                if (rng.chance(0.1))
+                    mask.set(p);
+            }
+            break;
+          case 1:
+            for (std::uint32_t p = 0; p < N; ++p) {
+                if (rng.chance(0.9))
+                    mask.set(p);
+            }
+            break;
+          default:
+            for (int r = 0; r < 8; ++r) {
+                std::uint32_t first =
+                    static_cast<std::uint32_t>(rng.below(N));
+                std::uint32_t len = static_cast<std::uint32_t>(
+                    rng.below(96) + 1);
+                for (std::uint32_t p = first;
+                     p < std::min<std::uint32_t>(first + len, N); ++p)
+                    mask.set(p);
+            }
+            break;
+        }
+        checkAllHelpers(mask);
+    }
+}
+
+TEST(PageMask, MakeRunMaskMatchesReference)
+{
+    sim::Rng rng(0xc0ffee);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::uint32_t first = static_cast<std::uint32_t>(rng.below(N));
+        std::uint32_t last =
+            first + static_cast<std::uint32_t>(rng.below(N - first));
+        Mask expect;
+        for (std::uint32_t p = first; p <= last; ++p)
+            expect.set(p);
+        EXPECT_EQ((mem::makeRunMask<N>(first, last)), expect);
+    }
+    EXPECT_EQ((mem::makeRunMask<N>(0, N - 1)), Mask{}.set());
+    Mask one;
+    one.set(0);
+    EXPECT_EQ((mem::makeRunMask<N>(0, 0)), one);
+    one.reset();
+    one.set(N - 1);
+    EXPECT_EQ((mem::makeRunMask<N>(N - 1, N - 1)), one);
+}
+
+TEST(PageMask, MaskForRangeMatchesPerBitExpectation)
+{
+    // maskForRange is uvm::makeMask (now word-built) applied to the
+    // clipped byte range; verify against per-bit construction.
+    const mem::VirtAddr base = mem::VirtAddr{1} << 40;
+    sim::Rng rng(0xabcdef);
+    for (int trial = 0; trial < 500; ++trial) {
+        sim::Bytes off = rng.below(2 * mem::kBigPageSize);
+        sim::Bytes size = rng.below(3 * mem::kBigPageSize) + 1;
+        uvm::PageMask got =
+            uvm::maskForRange(base, base - mem::kBigPageSize + off,
+                              size);
+        uvm::PageMask expect;
+        for (std::uint32_t p = 0; p < N; ++p) {
+            mem::VirtAddr page_lo = base + p * mem::kSmallPageSize;
+            mem::VirtAddr page_hi = page_lo + mem::kSmallPageSize;
+            mem::VirtAddr lo = base - mem::kBigPageSize + off;
+            mem::VirtAddr hi = lo + size;
+            if (lo < page_hi && hi > page_lo)
+                expect.set(p);
+        }
+        EXPECT_EQ(got, expect) << "off=" << off << " size=" << size;
+    }
+}
+
+TEST(PageMask, MaskWordsRoundTrip)
+{
+    sim::Rng rng(0x12345);
+    for (int trial = 0; trial < 200; ++trial) {
+        Mask mask;
+        for (std::uint32_t p = 0; p < N; ++p) {
+            if (rng.chance(0.5))
+                mask.set(p);
+        }
+        const auto words = mem::maskWords(mask);
+        Mask rebuilt;
+        for (std::size_t w = 0; w < words.size(); ++w) {
+            for (std::uint32_t b = 0; b < 64; ++b) {
+                if (words[w] & (std::uint64_t{1} << b))
+                    rebuilt.set(static_cast<std::uint32_t>(w * 64 + b));
+            }
+        }
+        EXPECT_EQ(rebuilt, mask);
+    }
+}
+
+}  // namespace
+}  // namespace uvmd

@@ -99,6 +99,57 @@ TEST(EventQueue, EventsScheduledDuringRunExecute)
     EXPECT_EQ(eq.now(), 40);
 }
 
+TEST(EventQueue, CancelCompactsHeapOfDeadEntries)
+{
+    // Regression: cancelled entries used to linger in the heap until
+    // lazily popped, so a workload cancelling many far-future events
+    // (timeouts that never fire) grew the heap without bound.  The
+    // queue now compacts once dead entries outnumber live ones.
+    EventQueue eq;
+    eq.scheduleAt(1, [] {});  // one live near-term event
+    std::vector<EventId> ids;
+    for (int i = 0; i < 10'000; ++i)
+        ids.push_back(eq.scheduleAt(1'000'000 + i, [] {}));
+    for (EventId id : ids)
+        EXPECT_TRUE(eq.cancel(id));
+    EXPECT_EQ(eq.pending(), 1u);
+    // Dead entries (10'000) may not dominate the heap; allow the
+    // below-threshold tail that compaction intentionally leaves.
+    EXPECT_LE(eq.heapSize(), 2u * eq.pending() + 16u);
+    int fired = 0;
+    eq.scheduleAt(2, [&fired] { ++fired; });
+    eq.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.heapSize(), 0u);
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot)
+{
+    // Slot reuse must not let an old handle cancel a new event: ids
+    // carry a generation that changes when the slot is recycled.
+    EventQueue eq;
+    EventId first = eq.scheduleAt(10, [] {});
+    EXPECT_TRUE(eq.cancel(first));
+    int fired = 0;
+    EventId second = eq.scheduleAt(20, [&fired] { ++fired; });
+    EXPECT_NE(first, second);
+    EXPECT_FALSE(eq.cancel(first));  // stale handle
+    eq.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.cancel(second));  // already executed
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.scheduleAt(i, [] {});
+    EventId cancelled = eq.scheduleAt(100, [] {});
+    eq.cancel(cancelled);
+    eq.runAll();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
 TEST(Resource, ReservesSequentially)
 {
     Resource r("engine");

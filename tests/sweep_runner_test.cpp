@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the host-parallel sweep machinery: the sim::ThreadPool
+ * itself, the runIndexedSweep determinism contract (parallel results
+ * are consumed in index order, so output matches the serial run
+ * exactly), and a real simulator sweep run serially and in parallel
+ * with per-config results asserted identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/thread_pool.hpp"
+#include "sweep_runner.hpp"
+#include "workloads/fir.hpp"
+
+namespace uvmd {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks)
+{
+    sim::ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException)
+{
+    sim::ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&ran, i] {
+            ++ran;
+            if (i == 3)
+                throw std::runtime_error("task failed");
+        });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(ran.load(), 8);
+    // The pool stays usable after an error.
+    pool.submit([&ran] { ++ran; });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(ThreadPool, WaitWithNoWorkReturnsImmediately)
+{
+    sim::ThreadPool pool(2);
+    pool.wait();
+    pool.submit([] {});
+    pool.wait();
+    pool.wait();
+}
+
+TEST(SweepRunner, ConsumesInIndexOrderRegardlessOfJobs)
+{
+    for (int jobs : {1, 2, 7}) {
+        bench::SweepOptions opt;
+        opt.jobs = jobs;
+        std::vector<std::size_t> order;
+        std::vector<int> values;
+        bench::runIndexedSweep(
+            opt, 20,
+            [](std::size_t i) { return static_cast<int>(i * i); },
+            [&](std::size_t i, int &&v) {
+                order.push_back(i);
+                values.push_back(v);
+            });
+        ASSERT_EQ(order.size(), 20u) << "jobs=" << jobs;
+        for (std::size_t i = 0; i < 20; ++i) {
+            EXPECT_EQ(order[i], i);
+            EXPECT_EQ(values[i], static_cast<int>(i * i));
+        }
+    }
+}
+
+TEST(SweepRunner, SerialInterleavesTaskAndConsume)
+{
+    // jobs == 1 must preserve the historical behavior: each config is
+    // consumed before the next one runs (no buffering).
+    bench::SweepOptions opt;
+    opt.jobs = 1;
+    std::vector<std::string> trace;
+    bench::runIndexedSweep(
+        opt, 3,
+        [&](std::size_t i) {
+            trace.push_back("task" + std::to_string(i));
+            return 0;
+        },
+        [&](std::size_t i, int &&) {
+            trace.push_back("consume" + std::to_string(i));
+        });
+    EXPECT_EQ(trace,
+              (std::vector<std::string>{"task0", "consume0", "task1",
+                                        "consume1", "task2",
+                                        "consume2"}));
+}
+
+TEST(SweepRunner, TaskExceptionPropagates)
+{
+    bench::SweepOptions opt;
+    opt.jobs = 3;
+    EXPECT_THROW(
+        bench::runIndexedSweep(
+            opt, 10,
+            [](std::size_t i) {
+                if (i == 5)
+                    throw std::runtime_error("config failed");
+                return 1;
+            },
+            [](std::size_t, int &&) {}),
+        std::runtime_error);
+}
+
+TEST(SweepRunner, SimulatorSweepIsIdenticalSerialAndParallel)
+{
+    // The real contract behind the fig/table harnesses: independent
+    // simulator instances produce bit-identical per-config results
+    // whether they ran serially or on the pool.
+    using workloads::FirParams;
+    using workloads::RunResult;
+    using workloads::System;
+
+    const double ratios[] = {1.0, 2.0};
+    const System systems[] = {System::kUvmOpt, System::kUvmDiscard};
+    struct Config {
+        double ratio;
+        System sys;
+    };
+    std::vector<Config> grid;
+    for (double ratio : ratios) {
+        for (System sys : systems)
+            grid.push_back(Config{ratio, sys});
+    }
+
+    auto task = [&](std::size_t i) {
+        FirParams p;
+        // A small instance keeps the test quick.
+        p.input_bytes = 600'000'000;
+        p.window_bytes = 32 * sim::kMiB;
+        p.state_bytes = 128 * sim::kMiB;
+        p.output_bytes = 8 * sim::kMiB;
+        p.ovsp_ratio = grid[i].ratio;
+        uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+        cfg.gpu_memory = 1 * sim::kGiB;
+        return workloads::runFir(grid[i].sys, p,
+                                 interconnect::LinkSpec::pcie4(), cfg);
+    };
+
+    auto run = [&](int jobs) {
+        bench::SweepOptions opt;
+        opt.jobs = jobs;
+        std::vector<RunResult> out;
+        bench::runIndexedSweep(opt, grid.size(), task,
+                               [&](std::size_t, RunResult &&r) {
+                                   out.push_back(std::move(r));
+                               });
+        return out;
+    };
+
+    std::vector<RunResult> serial = run(1);
+    std::vector<RunResult> parallel = run(3);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].elapsed, parallel[i].elapsed) << i;
+        EXPECT_EQ(serial[i].traffic_h2d, parallel[i].traffic_h2d) << i;
+        EXPECT_EQ(serial[i].traffic_d2h, parallel[i].traffic_d2h) << i;
+        EXPECT_EQ(serial[i].evictions_used, parallel[i].evictions_used)
+            << i;
+        EXPECT_EQ(serial[i].skipped_by_discard,
+                  parallel[i].skipped_by_discard)
+            << i;
+    }
+}
+
+}  // namespace
+}  // namespace uvmd
