@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Scenario fuzzing campaign driver.
+ *
+ * Generates seeded random scenario scripts, runs each under the
+ * verification oracle (src/verify), and shrinks any failure to a
+ * minimal reproducer.
+ *
+ * Usage:
+ *   ./examples/scenario_fuzz [options]
+ *     --seeds N        seeds per mode (default 200; env UVMD_FUZZ_SEEDS)
+ *     --first N        first seed (default 1)
+ *     --faults MODE    off | on | both (default both)
+ *     --bug NAME       deliberate driver mutation to hunt:
+ *                      lazy-rearm-keeps-dirty | silent-dirty-bit-change
+ *                      | skip-discard-requeue | drop-evicted-cpu-copy
+ *     --artifacts DIR  reproducer/report directory (default
+ *                      fuzz-artifacts)
+ *     --no-shrink      keep raw failing scripts
+ *     --gen N          print the scenario for seed N and exit
+ *
+ * Exit codes: 0 all seeds clean; 4 at least one failure (the worst
+ * outcome's code when all failures share one class: 3 runtime,
+ * 4 divergence, 5 watchdog).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "verify/fuzzer.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace uvmd;
+
+    std::uint64_t seeds = 200;
+    if (const char *env = std::getenv("UVMD_FUZZ_SEEDS"))
+        seeds = std::strtoull(env, nullptr, 10);
+    std::uint64_t first = 1;
+    std::string faults = "both";
+    fuzz::FuzzOptions opts;
+    opts.artifact_dir = "fuzz-artifacts";
+    long long gen_seed = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            seeds = std::strtoull(need("--seeds"), nullptr, 10);
+        } else if (arg == "--first") {
+            first = std::strtoull(need("--first"), nullptr, 10);
+        } else if (arg == "--faults") {
+            faults = need("--faults");
+        } else if (arg == "--artifacts") {
+            opts.artifact_dir = need("--artifacts");
+        } else if (arg == "--no-shrink") {
+            opts.shrink = false;
+        } else if (arg == "--gen") {
+            gen_seed = std::strtoll(need("--gen"), nullptr, 10);
+        } else if (arg == "--bug") {
+            std::string name = need("--bug");
+            using uvm::BugInjection;
+            if (name == "lazy-rearm-keeps-dirty")
+                opts.verify.bug = BugInjection::kLazyRearmKeepsDirty;
+            else if (name == "silent-dirty-bit-change")
+                opts.verify.bug = BugInjection::kSilentDirtyBitChange;
+            else if (name == "skip-discard-requeue")
+                opts.verify.bug = BugInjection::kSkipDiscardRequeue;
+            else if (name == "drop-evicted-cpu-copy")
+                opts.verify.bug = BugInjection::kDropEvictedCpuCopy;
+            else {
+                std::fprintf(stderr, "unknown --bug '%s'\n",
+                             name.c_str());
+                return 1;
+            }
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return 1;
+        }
+    }
+
+    if (gen_seed >= 0) {
+        std::fputs(
+            fuzz::generateScenario(
+                static_cast<std::uint64_t>(gen_seed), faults == "on")
+                .c_str(),
+            stdout);
+        return 0;
+    }
+
+    std::uint64_t failures = 0;
+    std::uint64_t total_seeds = 0;
+    std::uint64_t total_checks = 0;
+    int worst_rc = 0;
+
+    auto run_mode = [&](bool with_faults) {
+        fuzz::FuzzOptions mode_opts = opts;
+        mode_opts.faults = with_faults;
+        std::printf("fuzzing %llu seeds (faults %s, bug %s)...\n",
+                    static_cast<unsigned long long>(seeds),
+                    with_faults ? "on" : "off",
+                    uvm::toString(opts.verify.bug));
+        std::fflush(stdout);
+        fuzz::CampaignResult c = fuzz::runCampaign(
+            first, seeds, mode_opts, &std::cout);
+        total_seeds += c.seeds_run;
+        total_checks += c.total_checks;
+        failures += c.failures;
+        for (const auto &f : c.failed) {
+            int rc = verify::exitCode(f.result.outcome);
+            worst_rc = std::max(worst_rc, rc);
+            std::printf("  seed %llu: %s (%zu-line repro)\n",
+                        static_cast<unsigned long long>(f.seed),
+                        verify::toString(f.result.outcome),
+                        static_cast<std::size_t>(std::count(
+                            f.repro.begin(), f.repro.end(), '\n')));
+        }
+    };
+
+    if (faults == "off" || faults == "both")
+        run_mode(false);
+    if (faults == "on" || faults == "both")
+        run_mode(true);
+
+    std::printf("fuzz campaign: %llu seeds, %llu checks, %llu "
+                "failures\n",
+                static_cast<unsigned long long>(total_seeds),
+                static_cast<unsigned long long>(total_checks),
+                static_cast<unsigned long long>(failures));
+    if (failures == 0)
+        return 0;
+    return worst_rc ? worst_rc : 4;
+}

@@ -3,12 +3,25 @@
  * Run a scenario script (see workloads/scenario.hpp for the language)
  * and print the resulting driver statistics and discard advice.
  *
- * Usage: ./examples/scenario_runner <script.uvm> [more scripts...]
+ * Usage: ./examples/scenario_runner [--verify] <script.uvm> [more...]
  *        ./examples/scenario_runner            (runs the built-in demo)
+ *
+ * With --verify the script executes under the full verification
+ * harness (differential oracle + watchdogs, src/verify).
+ *
+ * Exit codes (CI and the fuzzer triage on these):
+ *   0  success
+ *   1  unclassified error
+ *   2  scenario parse error (the script is invalid)
+ *   3  runtime error (the simulator refused the program)
+ *   4  verification failure (oracle divergence; --verify only)
+ *   5  watchdog trip (livelock or wall-clock; --verify only)
  */
 
 #include <cstdio>
+#include <cstring>
 
+#include "verify/verified_run.hpp"
 #include "workloads/scenario.hpp"
 
 namespace {
@@ -26,27 +39,64 @@ kernel overwriter write temp compute 100us
 sync
 )";
 
+int
+runPlain(const char *path)
+{
+    std::printf("== %s ==\n%s\n", path,
+                uvmd::workloads::runScenarioFile(path)
+                    .summary()
+                    .c_str());
+    return 0;
+}
+
+int
+runVerified(const char *path)
+{
+    using namespace uvmd;
+    verify::VerifyResult res = verify::runVerifiedScenarioFile(path);
+    if (res.ok()) {
+        std::printf("== %s (verified, %llu checks) ==\n%s\n", path,
+                    static_cast<unsigned long long>(res.checks),
+                    res.stats.summary().c_str());
+        return 0;
+    }
+    std::fprintf(stderr, "%s: %s: %s\n", path,
+                 verify::toString(res.outcome), res.message.c_str());
+    if (!res.report.empty())
+        std::fprintf(stderr, "%s\n", res.report.c_str());
+    return verify::exitCode(res.outcome);
+}
+
 }  // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace uvmd;
+    bool verify_mode = false;
+    int first = 1;
+    if (argc > 1 && std::strcmp(argv[1], "--verify") == 0) {
+        verify_mode = true;
+        first = 2;
+    }
     try {
-        if (argc < 2) {
+        if (first >= argc) {
             std::printf("== built-in demo scenario ==\n%s\n",
                         workloads::runScenario(kDemo).summary().c_str());
             return 0;
         }
-        for (int i = 1; i < argc; ++i) {
-            std::printf("== %s ==\n%s\n", argv[i],
-                        workloads::runScenarioFile(argv[i])
-                            .summary()
-                            .c_str());
+        for (int i = first; i < argc; ++i) {
+            int rc = verify_mode ? runVerified(argv[i])
+                                 : runPlain(argv[i]);
+            if (rc != 0)
+                return rc;
         }
+    } catch (const workloads::ScenarioParseError &err) {
+        std::fprintf(stderr, "parse error: %s\n", err.what());
+        return 2;
     } catch (const sim::FatalError &err) {
         std::fprintf(stderr, "error: %s\n", err.what());
-        return 1;
+        return 3;
     }
     return 0;
 }

@@ -5,7 +5,14 @@
 #   2. the chaos suite explicitly (label `chaos`: randomized fault
 #      schedules against a fault-free reference),
 #   3. the sanitized suite (asan+ubsan build, label `sanitized`),
-#   4. a perf smoke stage (release build): bench_host_perf emits
+#   4. the threaded suite under TSan (tsan build, label `threaded`:
+#      thread pool, parallel sweeps, watchdog threads),
+#   5. a verify-fuzz smoke: scenario_fuzz runs seeded random
+#      scenarios under the differential oracle in both fault modes
+#      (UVMD_FUZZ_SEEDS overrides the per-mode seed count, default
+#      200); failing reproducers are preserved in
+#      build/fuzz-artifacts/,
+#   6. a perf smoke stage (release build): bench_host_perf emits
 #      BENCH_perf.json, and one table sweep runs serial and parallel
 #      with the CSVs asserted bit-identical (the --jobs determinism
 #      contract, docs/performance.md).
@@ -38,6 +45,23 @@ ctest --test-dir build -L chaos --output-on-failure -j "$JOBS"
 
 echo "== sanitized tests (asan build) =="
 ctest --preset asan -j "$JOBS"
+
+echo "== configure + build (tsan) =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+
+echo "== threaded tests (tsan build) =="
+ctest --preset tsan -j "$JOBS"
+
+echo "== verify-fuzz smoke (default build) =="
+rm -rf build/fuzz-artifacts
+if ! build/examples/scenario_fuzz \
+       --seeds "${UVMD_FUZZ_SEEDS:-200}" \
+       --artifacts build/fuzz-artifacts; then
+    echo "verify-fuzz failed; reproducers kept in" \
+         "build/fuzz-artifacts/" >&2
+    exit 1
+fi
 
 echo "== configure + build (release) =="
 cmake --preset release

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Forward-progress reporting for potentially unbounded driver loops.
+ *
+ * The eviction process retries until a chunk frees up; under a buggy
+ * policy (or a buggy future change) that loop can spin forever with
+ * no simulated time advancing — a livelock that hangs CI rather than
+ * failing it.  Components report each iteration of such loops through
+ * a ProgressSink; the verification layer's ProgressMonitor counts
+ * steps per phase and aborts with a diagnosable error once a loop
+ * stops making sim-time progress.  The sink lives in sim/ so the uvm
+ * layer can report without depending on verify/.
+ */
+
+#ifndef UVMD_SIM_PROGRESS_HPP
+#define UVMD_SIM_PROGRESS_HPP
+
+#include "sim/time.hpp"
+
+namespace uvmd::sim {
+
+class ProgressSink
+{
+  public:
+    virtual ~ProgressSink() = default;
+
+    /**
+     * One iteration of a retry loop identified by @p phase (a static
+     * string, e.g. "alloc-chunk-evict") reached simulated time @p now.
+     * Implementations may throw to break the loop; callers must let
+     * the exception propagate.
+     */
+    virtual void onStep(const char *phase, SimTime now) = 0;
+};
+
+}  // namespace uvmd::sim
+
+#endif  // UVMD_SIM_PROGRESS_HPP

@@ -126,7 +126,7 @@ UvmDriver::gpuTouchBlock(VaBlock &block, const PageMask &m,
                     });
                 }
             }
-            block.discarded &= ~m;
+            clearDiscarded(block, m);
             block.discarded_lazily &= ~m;
             counters_.counter("oom_fallbacks").inc();
             if (observer_)
@@ -144,7 +144,7 @@ UvmDriver::gpuTouchBlock(VaBlock &block, const PageMask &m,
     if (rearm.any()) {
         if (!cfg_.track_fully_prepared || !block.fullyPrepared())
             t = rezeroChunk(block, id, t);
-        block.discarded &= ~rearm;
+        clearDiscarded(block, rearm);
         block.discarded_lazily &= ~rearm;
     }
 
@@ -196,7 +196,7 @@ UvmDriver::hostAccess(mem::VirtAddr addr, sim::Bytes size,
         }
 
         // Faults are visible to the driver and re-arm the pages.
-        b.discarded &= ~faulted;
+        clearDiscarded(b, faulted);
         b.discarded_lazily &= ~faulted;
 
         PageMask disc = m & b.discarded;

@@ -22,6 +22,24 @@ toString(EvictionPolicy policy)
     return "?";
 }
 
+const char *
+toString(BugInjection bug)
+{
+    switch (bug) {
+      case BugInjection::kNone:
+        return "none";
+      case BugInjection::kLazyRearmKeepsDirty:
+        return "lazy-rearm-keeps-dirty";
+      case BugInjection::kSilentDirtyBitChange:
+        return "silent-dirty-bit-change";
+      case BugInjection::kSkipDiscardRequeue:
+        return "skip-discard-requeue";
+      case BugInjection::kDropEvictedCpuCopy:
+        return "drop-evicted-cpu-copy";
+    }
+    return "?";
+}
+
 UvmConfig
 UvmConfig::rtx3080ti()
 {

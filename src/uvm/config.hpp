@@ -41,6 +41,28 @@ enum class EvictionPolicy : std::uint8_t {
 
 const char *toString(EvictionPolicy policy);
 
+/**
+ * Deliberate driver mutations for exercising the verification oracle
+ * (tests and the fuzz harness only; see docs/verification.md).  Each
+ * value enables one tiny guarded deviation from correct behaviour
+ * that the oracle must detect.  kNone (the default) leaves the driver
+ * untouched — all bug branches compile to dead code paths guarded by
+ * this enum, so production configurations are unaffected.
+ */
+enum class BugInjection : std::uint8_t {
+    kNone,                  ///< correct driver (default)
+    kLazyRearmKeepsDirty,   ///< prefetch skips the dirty-bit clear on
+                            ///< lazily-discarded resident pages
+    kSilentDirtyBitChange,  ///< eager discard flips the dirty bit
+                            ///< without telling the observer spine
+    kSkipDiscardRequeue,    ///< fully-discarded blocks stay on the
+                            ///< used LRU instead of the discarded FIFO
+    kDropEvictedCpuCopy,    ///< eviction forgets to mark evicted pages
+                            ///< CPU-resident (data loss)
+};
+
+const char *toString(BugInjection bug);
+
 struct UvmConfig {
     /** Usable framebuffer bytes per GPU. */
     sim::Bytes gpu_memory = static_cast<sim::Bytes>(11.77 * sim::kGiB);
@@ -128,6 +150,14 @@ struct UvmConfig {
     /** warn() when a kernel writes a lazily-discarded page without
      *  the mandatory prefetch (Section 5.2 contract). */
     bool lazy_contract_warnings = true;
+
+    /** checkInvariants(): panic on the first violation (historical
+     *  behaviour, right for unit tests) versus letting callers pull
+     *  the structured list via collectInvariantViolations(). */
+    bool panic_on_violation = true;
+
+    /** Verification-only deliberate bug (see BugInjection). */
+    BugInjection bug = BugInjection::kNone;
 
     // ---- Ablation switches (see DESIGN.md Section 5) ----
 

@@ -61,7 +61,10 @@ UvmDriver::discardBlock(VaBlock &block, const PageMask &pages,
         t = unmapFromGpu(block, target, t);
         t = unmapFromCpu(block, target, t);
         block.remote_mapped = 0;  // eager unmap covers remote PTEs
-        block.discarded |= target;
+        if (cfg_.bug == BugInjection::kSilentDirtyBitChange)
+            block.discarded |= target;  // deliberate: no observer event
+        else
+            markDiscarded(block, target);
         block.discarded_lazily &= ~target;
     } else {
         // Lazy mode only defers the *GPU* unmapping (the hardware
@@ -72,7 +75,7 @@ UvmDriver::discardBlock(VaBlock &block, const PageMask &pages,
         // written after the discard ... is guaranteed to be seen")
         // would not hold for host writes.
         t = unmapFromCpu(block, target, t);
-        block.discarded |= target;
+        markDiscarded(block, target);
         block.discarded_lazily |= target & block.resident_gpu;
         t += cfg_.block_op_cost;
     }
@@ -86,20 +89,16 @@ UvmDriver::requeueAfterDiscardStateChange(VaBlock &block)
 {
     if (!block.has_gpu_chunk)
         return;
-    Queues &q = gpu(block.owner_gpu).queues;
-    mem::QueueKind on = q.membership(&block);
-    if (block.allGpuResidentDiscarded() && cfg_.discard_queue_enabled) {
+    if (block.allGpuResidentDiscarded() && cfg_.discard_queue_enabled &&
+        cfg_.bug != BugInjection::kSkipDiscardRequeue) {
         // Fully-discarded chunks join the discarded FIFO.  Re-discards
-        // of a block already there keep its FIFO position (the queue
-        // maximizes time-to-reclaim, Section 5.5).
-        if (on != mem::QueueKind::kDiscarded)
-            q.placeOn(&block, mem::QueueKind::kDiscarded);
+        // of a block already there keep its FIFO position (setQueue
+        // no-ops; the queue maximizes time-to-reclaim, Section 5.5).
+        setQueue(block, mem::QueueKind::kDiscarded);
     } else if (block.resident_gpu.any()) {
-        if (on != mem::QueueKind::kUsed)
-            q.placeOn(&block, mem::QueueKind::kUsed);
+        setQueue(block, mem::QueueKind::kUsed);
     } else {
-        if (on != mem::QueueKind::kUnused)
-            q.placeOn(&block, mem::QueueKind::kUnused);
+        setQueue(block, mem::QueueKind::kUnused);
     }
 }
 

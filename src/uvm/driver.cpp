@@ -322,7 +322,8 @@ jsonEngines(std::ostream &os, const interconnect::DmaScheduler &sched)
 void
 UvmDriver::dumpStatsJson(std::ostream &os)
 {
-    os << "{\"uvm\":";
+    os << "{\"invariant_violations\":" << invariant_violations_
+       << ",\"uvm\":";
     counters_.dumpJson(os);
     os << ",\"gpus\":[";
     for (std::size_t i = 0; i < gpus_.size(); ++i) {
@@ -354,61 +355,74 @@ UvmDriver::dumpStatsJson(std::ostream &os)
     os << "}}\n";
 }
 
-void
-UvmDriver::checkInvariants()
+std::vector<InvariantViolation>
+UvmDriver::collectInvariantViolations()
 {
+    std::vector<InvariantViolation> out;
     std::vector<std::uint64_t> chunks(gpus_.size(), 0);
+    auto add = [&](const char *code, const VaBlock *b,
+                   std::uint32_t pages, std::string what) {
+        out.push_back({code, b ? b->base : 0, pages,
+                       b ? what + ": " + b->describe()
+                         : std::move(what)});
+    };
+    auto count = [](const PageMask &m) {
+        return static_cast<std::uint32_t>(m.count());
+    };
     va_space_.forEachBlockAll([&](VaBlock &b) {
-        if ((b.resident_cpu & b.resident_gpu).any())
-            sim::panic("invariant: residency not exclusive: " +
-                       b.describe());
+        if (PageMask m = b.resident_cpu & b.resident_gpu; m.any())
+            add("residency-not-exclusive", &b, count(m),
+                "pages resident on both CPU and GPU");
         if (b.resident_gpu.any() && !b.has_gpu_chunk)
-            sim::panic("invariant: GPU-resident without chunk: " +
-                       b.describe());
+            add("resident-without-chunk", &b, count(b.resident_gpu),
+                "GPU-resident without a backing chunk");
         if (b.has_gpu_chunk) {
             if (b.owner_gpu < 0 ||
                 b.owner_gpu >= static_cast<GpuId>(gpus_.size())) {
-                sim::panic("invariant: chunk without owner: " +
-                           b.describe());
+                add("chunk-without-owner", &b, 0,
+                    "chunk owned by out-of-range GPU");
+            } else {
+                ++chunks[b.owner_gpu];
             }
-            ++chunks[b.owner_gpu];
             if (b.link.on == mem::QueueKind::kNone)
-                sim::panic("invariant: chunk not on any queue: " +
-                           b.describe());
+                add("chunk-off-queue", &b, 0,
+                    "chunk not on any page queue");
         } else if (b.link.on != mem::QueueKind::kNone) {
-            sim::panic("invariant: queued without chunk: " +
-                       b.describe());
+            add("queued-without-chunk", &b, 0,
+                "on a page queue with no chunk");
         }
-        if ((b.mapped_gpu & ~b.resident_gpu).any())
-            sim::panic("invariant: GPU mapping beyond residency: " +
-                       b.describe());
-        if ((b.mapped_cpu & ~b.resident_cpu).any())
-            sim::panic("invariant: CPU mapping beyond residency: " +
-                       b.describe());
-        if ((b.resident_cpu & ~b.cpu_pages_present).any())
-            sim::panic("invariant: CPU-resident without CPU page: " +
-                       b.describe());
-        if ((b.discarded & ~b.populated()).any())
-            sim::panic("invariant: discarded but unpopulated: " +
-                       b.describe());
-        if ((b.populated() & ~b.valid).any())
-            sim::panic("invariant: populated outside range: " +
-                       b.describe());
+        if (PageMask m = b.mapped_gpu & ~b.resident_gpu; m.any())
+            add("mapped-not-resident-gpu", &b, count(m),
+                "GPU mapping beyond GPU residency");
+        if (PageMask m = b.mapped_cpu & ~b.resident_cpu; m.any())
+            add("mapped-not-resident-cpu", &b, count(m),
+                "CPU mapping beyond CPU residency");
+        if (PageMask m = b.resident_cpu & ~b.cpu_pages_present; m.any())
+            add("cpu-resident-without-page", &b, count(m),
+                "CPU-resident without a host page");
+        if (PageMask m = b.discarded & ~b.populated(); m.any())
+            add("discarded-unpopulated", &b, count(m),
+                "discard state on never-populated pages");
+        if (PageMask m = b.populated() & ~b.valid; m.any())
+            add("populated-outside-range", &b, count(m),
+                "populated pages outside the valid range");
         switch (b.link.on) {
           case mem::QueueKind::kUnused:
             if (b.resident_gpu.any())
-                sim::panic("invariant: unused queue with residency: " +
-                           b.describe());
+                add("unused-queue-with-residency", &b,
+                    count(b.resident_gpu),
+                    "unused-queue chunk holds resident pages");
             break;
           case mem::QueueKind::kDiscarded:
             if (!b.allGpuResidentDiscarded())
-                sim::panic("invariant: discarded queue with live "
-                           "data: " + b.describe());
+                add("discarded-queue-live-data", &b,
+                    count(b.resident_gpu & ~b.discarded),
+                    "discarded-queue chunk holds live data");
             break;
           case mem::QueueKind::kUsed:
             if (!b.resident_gpu.any())
-                sim::panic("invariant: used queue without residency: " +
-                           b.describe());
+                add("used-queue-without-residency", &b, 0,
+                    "used-queue chunk holds no resident pages");
             break;
           case mem::QueueKind::kNone:
             break;
@@ -417,13 +431,69 @@ UvmDriver::checkInvariants()
     for (std::size_t i = 0; i < gpus_.size(); ++i) {
         const mem::ChunkAllocator &alloc = gpus_[i]->allocator;
         if (chunks[i] != alloc.allocatedChunks())
-            sim::panic("invariant: chunk accounting mismatch");
+            add("chunk-accounting-mismatch", nullptr, 0,
+                "gpu" + std::to_string(i) + ": blocks hold " +
+                    std::to_string(chunks[i]) +
+                    " chunks but the allocator reports " +
+                    std::to_string(alloc.allocatedChunks()));
         if (alloc.allocatedChunks() + alloc.reservedChunks() +
                 alloc.retiredChunks() >
             alloc.totalChunks())
-            sim::panic("invariant: chunk capacity exceeded "
-                       "(allocated + reserved + retired > total)");
+            add("chunk-capacity-exceeded", nullptr, 0,
+                "gpu" + std::to_string(i) +
+                    ": allocated + reserved + retired > total");
     }
+    return out;
+}
+
+void
+UvmDriver::checkInvariants()
+{
+    std::vector<InvariantViolation> violations =
+        collectInvariantViolations();
+    invariant_violations_ += violations.size();
+    if (violations.empty())
+        return;
+    if (cfg_.panic_on_violation) {
+        const InvariantViolation &v = violations.front();
+        sim::panic("invariant: " + v.code +
+                   (v.detail.empty() ? "" : ": " + v.detail));
+    }
+    for (const InvariantViolation &v : violations)
+        sim::warn("invariant violation: " + v.code + ": " + v.detail);
+}
+
+void
+UvmDriver::markDiscarded(VaBlock &block, const PageMask &mask)
+{
+    PageMask delta = mask & ~block.discarded;
+    block.discarded |= mask;
+    if (observer_ && delta.any())
+        observer_->onDiscardStateChange(block, delta, true);
+}
+
+void
+UvmDriver::clearDiscarded(VaBlock &block, const PageMask &mask)
+{
+    PageMask delta = mask & block.discarded;
+    block.discarded &= ~mask;
+    if (observer_ && delta.any())
+        observer_->onDiscardStateChange(block, delta, false);
+}
+
+void
+UvmDriver::setQueue(VaBlock &block, mem::QueueKind kind)
+{
+    mem::QueueKind from = block.link.on;
+    if (from == kind)
+        return;
+    Queues &q = gpu(block.owner_gpu).queues;
+    if (kind == mem::QueueKind::kNone)
+        q.unlink(&block);
+    else
+        q.placeOn(&block, kind);
+    if (observer_)
+        observer_->onQueueMove(block, from, kind);
 }
 
 }  // namespace uvmd::uvm

@@ -47,6 +47,7 @@
 #include "mem/zero_engine.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/logging.hpp"
+#include "sim/progress.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
 #include "sim/stats.hpp"
@@ -88,6 +89,21 @@ struct Access {
     mem::VirtAddr addr;
     sim::Bytes size;
     AccessKind kind;
+};
+
+/**
+ * One structural invariant the driver's state violated, as found by
+ * UvmDriver::collectInvariantViolations().  `code` is a stable
+ * machine-readable identifier (e.g. "mapped-not-resident-gpu"),
+ * `block` the base address of the offending va_block (0 for
+ * whole-GPU accounting violations), `pages` how many pages are
+ * implicated, and `detail` a human-readable elaboration.
+ */
+struct InvariantViolation {
+    std::string code;
+    mem::VirtAddr block = 0;
+    std::uint32_t pages = 0;
+    std::string detail;
 };
 
 /** cudaMemAdvise-style hints (the Section 2.3 remote-access mode). */
@@ -254,8 +270,35 @@ class UvmDriver
         xfer_->setObserver(obs);
     }
 
-    /** Validate internal invariants; panics on violation (tests). */
+    /**
+     * Validate internal invariants.  With cfg.panic_on_violation (the
+     * default, matching historical behaviour) panics on the first
+     * violation; otherwise records the count (surfaced by
+     * dumpStatsJson as "invariant_violations") and returns.
+     */
     void checkInvariants();
+
+    /**
+     * Structural cross-checks of the driver state (residency
+     * exclusivity, mapping ⊆ residency, queue membership vs. chunk
+     * ownership, chunk accounting, ...).  Never panics; returns every
+     * violation found.  checkInvariants() is a thin wrapper.
+     */
+    std::vector<InvariantViolation> collectInvariantViolations();
+
+    /** Violations seen by checkInvariants() so far (non-panicking
+     *  mode); also emitted by dumpStatsJson. */
+    std::uint64_t invariantViolationCount() const
+    {
+        return invariant_violations_;
+    }
+
+    /** Attach a forward-progress sink; the eviction retry loops
+     *  report each iteration through it (nullptr detaches). */
+    void setProgressSink(sim::ProgressSink *sink)
+    {
+        progress_sink_ = sink;
+    }
 
     /** Dump every statistic (driver counters, per-GPU link/allocator/
      *  queue state, zero engines, copy-engine busy times) as
@@ -416,6 +459,31 @@ class UvmDriver
     mem::CopySlot residentSlot(const VaBlock &block,
                                std::uint32_t page) const;
 
+    // ---- observer-visible state mutations ----
+    //
+    // Every change to the software dirty bit and the queue membership
+    // funnels through these helpers so the verification oracle sees
+    // an exact event stream (observer.hpp state-machine hooks).  Both
+    // only report actual deltas.
+
+    /** discarded |= mask (dirty bit cleared); reports the delta. */
+    void markDiscarded(VaBlock &block, const PageMask &mask);
+
+    /** discarded &= ~mask (dirty bit set); reports the delta. */
+    void clearDiscarded(VaBlock &block, const PageMask &mask);
+
+    /** Move @p block's chunk to queue @p kind on its owner GPU
+     *  (kNone unlinks).  No-op when already there — preserves FIFO
+     *  position on re-discard.  Reports actual moves. */
+    void setQueue(VaBlock &block, mem::QueueKind kind);
+
+    /** Report one iteration of a retry loop to the progress sink. */
+    void reportProgress(const char *phase, sim::SimTime now)
+    {
+        if (progress_sink_)
+            progress_sink_->onStep(phase, now);
+    }
+
     UvmConfig cfg_;
     sim::FaultInjector injector_;
     sim::Rng eviction_rng_;
@@ -426,6 +494,8 @@ class UvmDriver
     mem::BackingStore backing_;
     sim::StatGroup counters_;
     TransferObserver *observer_ = nullptr;
+    sim::ProgressSink *progress_sink_ = nullptr;
+    std::uint64_t invariant_violations_ = 0;
     std::unique_ptr<TransferEngine> xfer_;
 };
 

@@ -31,6 +31,7 @@ UvmDriver::allocChunk(VaBlock &block, GpuId id, sim::SimTime start)
     TransferEngine::BatchScope batch(*xfer_);
     int injected_failures = 0;
     for (;;) {
+        reportProgress("alloc-chunk-evict", t);
         if (!g.allocator.tryAllocChunk()) {
             std::optional<sim::SimTime> evicted = evictOne(id, t);
             if (!evicted)
@@ -61,7 +62,7 @@ UvmDriver::allocChunk(VaBlock &block, GpuId id, sim::SimTime start)
     block.alloc_ordinal = next_alloc_ordinal_++;
     block.gpu_prepared.reset();
     block.gpu_mapping_big = false;
-    g.queues.placeOn(&block, mem::QueueKind::kUsed);
+    setQueue(block, mem::QueueKind::kUsed);
     return t;
 }
 
@@ -75,7 +76,7 @@ UvmDriver::releaseChunk(VaBlock &block)
     if (block.mapped_gpu.any())
         sim::panic("releaseChunk: chunk still mapped");
     GpuState &g = gpu(block.owner_gpu);
-    g.queues.unlink(&block);
+    setQueue(block, mem::QueueKind::kNone);
     g.allocator.freeChunk();
     block.has_gpu_chunk = false;
     block.owner_gpu = -1;
@@ -88,8 +89,7 @@ UvmDriver::chunkToUnused(VaBlock &block)
 {
     if (!block.has_gpu_chunk || block.resident_gpu.any())
         sim::panic("chunkToUnused: block not drained");
-    gpu(block.owner_gpu)
-        .queues.placeOn(&block, mem::QueueKind::kUnused);
+    setQueue(block, mem::QueueKind::kUnused);
 }
 
 sim::SimTime
@@ -98,6 +98,7 @@ UvmDriver::ensureFreeChunk(GpuId id, sim::SimTime start)
     GpuState &g = gpu(id);
     sim::SimTime t = start;
     while (g.allocator.freeChunks() == 0) {
+        reportProgress("ensure-free-chunk", t);
         std::optional<sim::SimTime> evicted = evictOne(id, t);
         if (!evicted)
             throw GpuOomError(id);
@@ -111,8 +112,10 @@ UvmDriver::evictOne(GpuId id, sim::SimTime start)
 {
     GpuState &g = gpu(id);
 
-    // 1. Leftover chunks: reclaim directly.
-    if (VaBlock *b = g.queues.unusedQueue().popFront()) {
+    // 1. Leftover chunks: reclaim directly.  (releaseChunk unlinks —
+    // via setQueue so the queue-move event is seen — so the head is
+    // only peeked, not popped.)
+    if (VaBlock *b = g.queues.unusedQueue().front()) {
         releaseChunk(*b);
         counters_.counter("evictions_unused").inc();
         return start + cfg_.reclaim_cost;
@@ -120,7 +123,7 @@ UvmDriver::evictOne(GpuId id, sim::SimTime start)
 
     // 2. Discarded chunks: reclaim without a transfer (Section 5.5).
     if (cfg_.discard_queue_enabled) {
-        if (VaBlock *b = g.queues.discardedQueue().popFront()) {
+        if (VaBlock *b = g.queues.discardedQueue().front()) {
             sim::SimTime t = start;
             // Lazily-discarded blocks kept their mappings; the unmap
             // is deferred to this point (Section 5.6).
@@ -141,7 +144,7 @@ UvmDriver::evictOne(GpuId id, sim::SimTime start)
             b->resident_gpu.reset();
             b->gpu_prepared.reset();
             b->resident_cpu |= skipped & b->cpu_pages_present;
-            b->discarded &= ~(skipped & ~b->cpu_pages_present);
+            clearDiscarded(*b, skipped & ~b->cpu_pages_present);
             b->discarded_lazily.reset();
             releaseChunk(*b);
             counters_.counter("evictions_discarded").inc();
@@ -243,7 +246,7 @@ UvmDriver::retireChunk(VaBlock &block, sim::SimTime start)
     TransferEngine::BatchScope batch(*xfer_);
     sim::SimTime t = migrateToCpu(block, block.resident_gpu,
                                   TransferCause::kEviction, start);
-    g.queues.unlink(&block);
+    setQueue(block, mem::QueueKind::kNone);
     g.allocator.retireAllocatedChunk();
     block.has_gpu_chunk = false;
     block.owner_gpu = -1;

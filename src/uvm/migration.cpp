@@ -123,7 +123,7 @@ UvmDriver::migrateToGpu(VaBlock &block, const PageMask &pages,
     // A migration to the GPU only happens on a fault or a prefetch,
     // both of which tell the driver the pages may now hold new values
     // (Sections 5.1-5.2): the pages are live again.
-    block.discarded &= ~need;
+    clearDiscarded(block, need);
     block.discarded_lazily &= ~need;
     return t;
 }
@@ -158,7 +158,7 @@ UvmDriver::migrateGpuToGpu(VaBlock &block, const PageMask &pages,
             });
         }
         block.resident_cpu |= skipped & block.cpu_pages_present;
-        block.discarded &= ~(skipped & ~block.cpu_pages_present);
+        clearDiscarded(block, skipped & ~block.cpu_pages_present);
     }
     block.discarded_lazily &= ~moving;
 
@@ -246,13 +246,20 @@ UvmDriver::migrateToCpu(VaBlock &block, const PageMask &pages,
 
     block.resident_gpu &= ~moving;
     block.gpu_prepared &= ~moving;
-    block.resident_cpu |= live | (skipped & block.cpu_pages_present);
+    PageMask gained = live | (skipped & block.cpu_pages_present);
+    if (cfg_.bug == BugInjection::kDropEvictedCpuCopy &&
+        cause == TransferCause::kEviction) {
+        // Deliberate verification bug: evicted live pages lose their
+        // CPU residency (data loss the oracle must flag).
+        gained &= ~live;
+    }
+    block.resident_cpu |= gained;
     // Skipped pages with no CPU copy leave populated() — a later read
     // zero-fills them on first touch — and shed their discard state
     // (unpopulated memory is implicitly contentless).  Pages falling
     // back to a stale CPU copy stay discarded, so a later migration
     // back to the GPU can skip the transfer again.
-    block.discarded &= ~(skipped & ~block.cpu_pages_present);
+    clearDiscarded(block, skipped & ~block.cpu_pages_present);
     block.discarded_lazily &= ~moving;
 
     if (!block.resident_gpu.any() && block.has_gpu_chunk)

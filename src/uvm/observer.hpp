@@ -12,6 +12,8 @@
 #ifndef UVMD_UVM_OBSERVER_HPP
 #define UVMD_UVM_OBSERVER_HPP
 
+#include <vector>
+
 #include "interconnect/link.hpp"
 #include "uvm/va_block.hpp"
 
@@ -84,6 +86,162 @@ class TransferObserver
         (void)block_base;
         (void)pages;
     }
+
+    // ------------------------------------------------------------
+    // State-machine hooks (verification spine)
+    //
+    // The verify::Oracle mirrors the driver's per-page state machine
+    // from these events and cross-checks the mirror against the real
+    // block state after every operation, so every mutation of the
+    // mapping masks, the software dirty bit, and the queue membership
+    // must flow through them.  All default to no-ops: observers that
+    // only care about data movement (auditor, advisor, trace log) are
+    // unaffected, and the fault-free simulation stays bit-identical.
+    // ------------------------------------------------------------
+
+    /** Pages of @p block that just gained a PTE at @p where. */
+    virtual void onMap(const VaBlock &block, const PageMask &pages,
+                       ProcessorId where)
+    {
+        (void)block;
+        (void)pages;
+        (void)where;
+    }
+
+    /** Pages of @p block whose PTEs at @p where were just destroyed. */
+    virtual void onUnmap(const VaBlock &block, const PageMask &pages,
+                         ProcessorId where)
+    {
+        (void)block;
+        (void)pages;
+        (void)where;
+    }
+
+    /**
+     * The discard state of @p pages changed.  @p discarded true means
+     * the pages were just marked discarded (their software dirty bit
+     * was cleared); false means they were re-armed (dirty bit set —
+     * a prefetch, fault, or migration told the driver the pages may
+     * hold new values).  Only actual transitions are reported: pages
+     * already in the target state are excluded from the mask.
+     */
+    virtual void onDiscardStateChange(const VaBlock &block,
+                                      const PageMask &pages,
+                                      bool discarded)
+    {
+        (void)block;
+        (void)pages;
+        (void)discarded;
+    }
+
+    /** @p block moved between the Section 5.5 physical page queues
+     *  (kNone means off-queue: no chunk, or mid-reclamation).  MRU
+     *  touches within the used queue are not reported. */
+    virtual void onQueueMove(const VaBlock &block, mem::QueueKind from,
+                             mem::QueueKind to)
+    {
+        (void)block;
+        (void)from;
+        (void)to;
+    }
+};
+
+/**
+ * Fan-out observer: forwards every event to each attached observer in
+ * attach order.  Lets the verification oracle ride alongside the
+ * advisor/auditor that a harness already installed (the driver itself
+ * holds a single observer pointer).
+ */
+class ObserverMux : public TransferObserver
+{
+  public:
+    void add(TransferObserver *obs)
+    {
+        if (obs)
+            observers_.push_back(obs);
+    }
+
+    void
+    onTransfer(const VaBlock &block, const PageMask &pages,
+               interconnect::Direction dir, TransferCause cause) override
+    {
+        for (auto *o : observers_)
+            o->onTransfer(block, pages, dir, cause);
+    }
+
+    void
+    onTransferSkipped(const VaBlock &block, const PageMask &pages,
+                      interconnect::Direction dir,
+                      TransferCause cause) override
+    {
+        for (auto *o : observers_)
+            o->onTransferSkipped(block, pages, dir, cause);
+    }
+
+    void
+    onAccess(const VaBlock &block, const PageMask &pages, bool is_read,
+             bool is_write, ProcessorId where) override
+    {
+        for (auto *o : observers_)
+            o->onAccess(block, pages, is_read, is_write, where);
+    }
+
+    void
+    onDiscard(const VaBlock &block, const PageMask &pages) override
+    {
+        for (auto *o : observers_)
+            o->onDiscard(block, pages);
+    }
+
+    void
+    onFree(const VaBlock &block, const PageMask &pages) override
+    {
+        for (auto *o : observers_)
+            o->onFree(block, pages);
+    }
+
+    void
+    onFault(FaultEvent event, mem::VirtAddr block_base,
+            std::uint32_t pages) override
+    {
+        for (auto *o : observers_)
+            o->onFault(event, block_base, pages);
+    }
+
+    void
+    onMap(const VaBlock &block, const PageMask &pages,
+          ProcessorId where) override
+    {
+        for (auto *o : observers_)
+            o->onMap(block, pages, where);
+    }
+
+    void
+    onUnmap(const VaBlock &block, const PageMask &pages,
+            ProcessorId where) override
+    {
+        for (auto *o : observers_)
+            o->onUnmap(block, pages, where);
+    }
+
+    void
+    onDiscardStateChange(const VaBlock &block, const PageMask &pages,
+                         bool discarded) override
+    {
+        for (auto *o : observers_)
+            o->onDiscardStateChange(block, pages, discarded);
+    }
+
+    void
+    onQueueMove(const VaBlock &block, mem::QueueKind from,
+                mem::QueueKind to) override
+    {
+        for (auto *o : observers_)
+            o->onQueueMove(block, from, to);
+    }
+
+  private:
+    std::vector<TransferObserver *> observers_;
 };
 
 }  // namespace uvmd::uvm

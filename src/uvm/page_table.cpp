@@ -30,6 +30,8 @@ UvmDriver::mapOnGpu(VaBlock &block, const PageMask &pages, GpuId id,
     // a single 2 MB PTE (Section 5.4).
     block.gpu_mapping_big = big_ok && block.mapped_gpu == block.valid;
     counters_.counter("gpu_map_ops").inc();
+    if (observer_)
+        observer_->onMap(block, to_map, ProcessorId::gpu(id));
     return start + cfg_.gpu_map_cost;
 }
 
@@ -47,6 +49,9 @@ UvmDriver::unmapFromGpu(VaBlock &block, const PageMask &pages,
     }
     block.gpu_mapping_big = false;
     counters_.counter("gpu_unmap_ops").inc();
+    if (observer_)
+        observer_->onUnmap(block, to_unmap,
+                           ProcessorId::gpu(block.owner_gpu));
     return start + cfg_.gpu_unmap_cost;
 }
 
@@ -59,6 +64,8 @@ UvmDriver::mapOnCpu(VaBlock &block, const PageMask &pages,
         return start;
     block.mapped_cpu |= to_map;
     counters_.counter("cpu_map_ops").inc();
+    if (observer_)
+        observer_->onMap(block, to_map, ProcessorId::cpu());
     return start + cfg_.cpu_map_cost;
 }
 
@@ -71,6 +78,8 @@ UvmDriver::unmapFromCpu(VaBlock &block, const PageMask &pages,
         return start;
     block.mapped_cpu &= ~to_unmap;
     counters_.counter("cpu_unmap_ops").inc();
+    if (observer_)
+        observer_->onUnmap(block, to_unmap, ProcessorId::cpu());
     return start + cfg_.cpu_unmap_cost;
 }
 

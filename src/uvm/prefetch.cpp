@@ -79,8 +79,14 @@ UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
                     // Lazy path: a software bitmap update.
                     t += cfg_.block_op_cost;
                 }
-                b.discarded &= ~rearm;
-                b.discarded_lazily &= ~rearm;
+                PageMask to_clear = rearm;
+                if (cfg_.bug == BugInjection::kLazyRearmKeepsDirty) {
+                    // Deliberate verification bug: the lazy pages keep
+                    // their cleared dirty bit despite the prefetch.
+                    to_clear &= ~b.discarded_lazily;
+                }
+                clearDiscarded(b, to_clear);
+                b.discarded_lazily &= ~to_clear;
             }
 
             t = mapOnGpu(b, m, id, t, /*big_ok=*/m == b.valid);
@@ -114,7 +120,7 @@ UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
                 t += cfg_.cpu_fault_cost;
             }
             // Prefetching declares intent to use: pages are live again.
-            b.discarded &= ~m;
+            clearDiscarded(b, m);
             b.discarded_lazily &= ~m;
             t = mapOnCpu(b, m & b.resident_cpu, t);
             requeueAfterDiscardStateChange(b);

@@ -1,0 +1,111 @@
+#include "verify/watchdog.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace uvmd::verify {
+
+void
+ProgressMonitor::onStep(const char *phase, sim::SimTime now)
+{
+    ++total_steps_;
+    if (limits_.max_total_steps &&
+        total_steps_ > limits_.max_total_steps) {
+        std::ostringstream os;
+        os << "watchdog: scenario exceeded "
+           << limits_.max_total_steps
+           << " progress steps (last phase '" << phase
+           << "', sim time " << now << "ns)";
+        throw WatchdogError(os.str());
+    }
+    // Phase identity is compared by pointer first (the driver passes
+    // string literals) with a strcmp fallback, so distinct call sites
+    // sharing a label still count as one phase.
+    bool same_phase =
+        phase_ && (phase_ == phase || std::strcmp(phase_, phase) == 0);
+    if (same_phase && now <= last_time_) {
+        if (++stalled_ > limits_.max_stalled_steps) {
+            std::ostringstream os;
+            os << "watchdog: livelock in phase '" << phase << "': "
+               << stalled_ << " iterations with sim time stuck at "
+               << now << "ns";
+            throw WatchdogError(os.str());
+        }
+    } else {
+        stalled_ = 0;
+    }
+    phase_ = phase;
+    last_time_ = now;
+}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+        armed_ = false;
+        ++generation_;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+Watchdog::arm(std::uint64_t millis, const std::string &what)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(millis);
+    what_ = what;
+    armed_ = true;
+    ++generation_;
+    if (!thread_.joinable())
+        thread_ = std::thread([this] { run(); });
+    cv_.notify_all();
+}
+
+void
+Watchdog::disarm()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_ = false;
+    ++generation_;
+    cv_.notify_all();
+}
+
+void
+Watchdog::run()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        if (shutdown_)
+            return;
+        if (!armed_) {
+            cv_.wait(lock,
+                     [this] { return armed_ || shutdown_; });
+            continue;
+        }
+        std::uint64_t gen = generation_;
+        if (cv_.wait_until(lock, deadline_, [this, gen] {
+                return generation_ != gen;
+            }))
+            continue;  // re-armed or disarmed; re-evaluate
+        // Deadline hit while still armed: the main thread is stuck.
+        // Flush a diagnosis and kill the process — no destructors, no
+        // atexit: any of those could hang on the same stuck state.
+        std::fprintf(stderr,
+                     "uvmd watchdog: wall-clock deadline expired for "
+                     "%s; killing run (exit %d)\n",
+                     what_.empty() ? "<unnamed scenario>"
+                                   : what_.c_str(),
+                     WatchdogError::kExitCode);
+        std::fflush(stderr);
+        std::_Exit(WatchdogError::kExitCode);
+    }
+}
+
+}  // namespace uvmd::verify

@@ -17,7 +17,12 @@ namespace {
 [[noreturn]] void
 scriptError(std::size_t line_no, const std::string &msg)
 {
-    sim::fatal("scenario line " + std::to_string(line_no) + ": " + msg);
+    // Same wire format fatal() produces, but typed: harnesses (exit
+    // codes, the fuzzer's shrinker) must distinguish invalid programs
+    // from programs that failed.
+    throw ScenarioParseError(line_no, "scenario line " +
+                                          std::to_string(line_no) +
+                                          ": " + msg);
 }
 
 /** Parse "64MB", "4KiB", "2GB" into bytes. */
@@ -128,16 +133,15 @@ parseOnOff(std::size_t line_no, const std::string &token)
     scriptError(line_no, "expected on|off, got '" + token + "'");
 }
 
-struct Buffer {
-    mem::VirtAddr addr;
-    sim::Bytes size;
-};
+using Buffer = ScenarioBufferInfo;
 
 /** Parses header directives, then replays the op lines. */
 class ScenarioInterpreter
 {
   public:
-    explicit ScenarioInterpreter(const std::string &script)
+    ScenarioInterpreter(const std::string &script,
+                        const ScenarioHooks &hooks)
+        : hooks_(hooks)
     {
         std::istringstream in(script);
         std::string raw;
@@ -345,23 +349,56 @@ class ScenarioInterpreter
                     scriptError(line_no,
                                 "coalesce expects on|off, got '" + v +
                                     "'");
+            } else if (cmd == "deadline") {
+                arity(i, 2);
+                sim::SimDuration d = arg(i, 1, &parseDuration);
+                if (d <= 0)
+                    scriptError(line_no, "deadline must be positive");
+                if (hooks_.on_deadline)
+                    hooks_.on_deadline(d);
             } else {
                 first_op = i;
                 break;
             }
         }
 
+        if (hooks_.mutate_config)
+            hooks_.mutate_config(cfg);
+
         rt_ = std::make_unique<cuda::Runtime>(cfg, link);
         advisor_ =
             std::make_unique<trace::DiscardAdvisor>(rt_->driver());
-        rt_->driver().setObserver(advisor_.get());
+        if (hooks_.observer) {
+            mux_.add(advisor_.get());
+            mux_.add(hooks_.observer);
+            rt_->driver().setObserver(&mux_);
+        } else {
+            rt_->driver().setObserver(advisor_.get());
+        }
         if (occupy > 0)
             rt_->driver().reserveGpuMemory(0, occupy);
+        if (hooks_.on_runtime_ready)
+            hooks_.on_runtime_ready(*rt_);
 
         // Pass 2: operations.
-        for (std::size_t i = first_op; i < lines_.size(); ++i)
+        std::size_t op_index = 0;
+        for (std::size_t i = first_op; i < lines_.size(); ++i) {
             executeOp(i);
+            if (hooks_.sync_each_op)
+                rt_->synchronize();
+            if (hooks_.after_op) {
+                ScenarioOp op;
+                op.index = op_index;
+                op.line_no = lines_[i].first;
+                op.tokens = &lines_[i].second;
+                op.buffers = &buffers_;
+                hooks_.after_op(op, *rt_);
+            }
+            ++op_index;
+        }
         rt_->synchronize();
+        if (hooks_.before_finish)
+            hooks_.before_finish(*rt_);
 
         ScenarioResult result;
         result.elapsed = rt_->now();
@@ -500,7 +537,7 @@ class ScenarioInterpreter
         } else if (cmd == "gpu_memory" || cmd == "link" ||
                    cmd == "policy" || cmd == "occupy" ||
                    cmd == "copy_engines" || cmd == "coalesce" ||
-                   cmd == "inject") {
+                   cmd == "inject" || cmd == "deadline") {
             scriptError(line_no,
                         "configuration directives must precede all "
                         "operations");
@@ -509,9 +546,11 @@ class ScenarioInterpreter
         }
     }
 
+    ScenarioHooks hooks_;
     std::vector<Line> lines_;
     std::unique_ptr<cuda::Runtime> rt_;
     std::unique_ptr<trace::DiscardAdvisor> advisor_;
+    uvm::ObserverMux mux_;
     std::map<std::string, Buffer> buffers_;
 };
 
@@ -548,18 +587,30 @@ ScenarioResult::summary() const
 ScenarioResult
 runScenario(const std::string &script)
 {
-    return ScenarioInterpreter(script).run();
+    return runScenario(script, ScenarioHooks{});
+}
+
+ScenarioResult
+runScenario(const std::string &script, const ScenarioHooks &hooks)
+{
+    return ScenarioInterpreter(script, hooks).run();
 }
 
 ScenarioResult
 runScenarioFile(const std::string &path)
+{
+    return runScenarioFile(path, ScenarioHooks{});
+}
+
+ScenarioResult
+runScenarioFile(const std::string &path, const ScenarioHooks &hooks)
 {
     std::ifstream in(path);
     if (!in)
         sim::fatal("scenario: cannot open " + path);
     std::ostringstream buf;
     buf << in.rdbuf();
-    return runScenario(buf.str());
+    return runScenario(buf.str(), hooks);
 }
 
 }  // namespace uvmd::workloads

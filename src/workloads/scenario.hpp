@@ -11,6 +11,10 @@
  *     occupy 128MB              # oversubscription occupier
  *     copy_engines 2            # DMA copy engines per direction
  *     coalesce on               # on | off: DMA descriptor coalescing
+ *     deadline 5s               # wall-clock budget for this scenario
+ *                               # (enforced by verification harnesses
+ *                               # through ScenarioHooks::on_deadline;
+ *                               # ignored by the plain runner)
  *     inject on                 # enable deterministic fault injection
  *     inject seed 7             # injector RNG seed
  *     inject dma_fault_rate 0.001         # per-descriptor P(fault)
@@ -45,12 +49,32 @@
 #ifndef UVMD_WORKLOADS_SCENARIO_HPP
 #define UVMD_WORKLOADS_SCENARIO_HPP
 
+#include <functional>
 #include <iosfwd>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "workloads/common.hpp"
 
 namespace uvmd::workloads {
+
+/**
+ * Thrown on scenario syntax/validity errors (unknown command, bad
+ * operand, config directive after an op, unknown buffer name, ...).
+ * Subclasses FatalError so legacy catch sites keep working, but lets
+ * harnesses — the fuzzer's shrinker, the runner's exit codes — tell
+ * "this program is invalid" apart from "this program failed".
+ */
+class ScenarioParseError : public sim::FatalError
+{
+  public:
+    ScenarioParseError(std::size_t line, const std::string &what)
+        : sim::FatalError(what), line_no(line)
+    {}
+
+    std::size_t line_no;
+};
 
 struct ScenarioResult {
     /** Simulated wall clock at the end of the script. */
@@ -78,15 +102,74 @@ struct ScenarioResult {
     std::string summary() const;
 };
 
+/** A live buffer of the executing scenario. */
+struct ScenarioBufferInfo {
+    mem::VirtAddr addr = 0;
+    sim::Bytes size = 0;
+};
+
+/** One executed op line, handed to ScenarioHooks::after_op. */
+struct ScenarioOp {
+    /** 0-based ordinal among op lines (not counting config). */
+    std::size_t index = 0;
+    /** 1-based line number in the script. */
+    std::size_t line_no = 0;
+    /** The whitespace-split tokens of the line (cmd first). */
+    const std::vector<std::string> *tokens = nullptr;
+    /** Buffers live *after* this op executed, by name. */
+    const std::map<std::string, ScenarioBufferInfo> *buffers = nullptr;
+};
+
+/**
+ * Extension points for verification harnesses (src/verify).  The
+ * scenario layer stays ignorant of the verifier: it only offers these
+ * generic hooks.  All members are optional; a default-constructed
+ * ScenarioHooks reproduces the plain runScenario behaviour exactly.
+ */
+struct ScenarioHooks {
+    /** Attached to the driver alongside the advisor (via an
+     *  ObserverMux), so it sees every transfer/map/discard event. */
+    uvm::TransferObserver *observer = nullptr;
+
+    /** Adjust the parsed config before the Runtime is built (e.g.
+     *  backed mode, panic_on_violation, a BugInjection). */
+    std::function<void(uvm::UvmConfig &)> mutate_config;
+
+    /** Called once the Runtime exists, before the first op. */
+    std::function<void(cuda::Runtime &)> on_runtime_ready;
+
+    /** Called after each op line (post sync when sync_each_op). */
+    std::function<void(const ScenarioOp &, cuda::Runtime &)> after_op;
+
+    /** Called after the final synchronize, before stats harvest. */
+    std::function<void(cuda::Runtime &)> before_finish;
+
+    /** Receives the `deadline <dur>` directive's value, if present. */
+    std::function<void(sim::SimDuration)> on_deadline;
+
+    /** synchronize() after every op so after_op observes settled
+     *  state (stream ops are asynchronous by default). */
+    bool sync_each_op = false;
+};
+
 /**
  * Parse and execute @p script.
- * @throws sim::FatalError on syntax errors (with a line number) and
- *         on the usual runtime errors (unknown buffer, OOM, ...).
+ * @throws ScenarioParseError on syntax errors (with a line number);
+ *         sim::FatalError on the usual runtime errors (unknown
+ *         buffer, OOM, ...).
  */
 ScenarioResult runScenario(const std::string &script);
 
+/** Like runScenario(), with verification hooks attached. */
+ScenarioResult runScenario(const std::string &script,
+                           const ScenarioHooks &hooks);
+
 /** Load the script from @p path and run it. */
 ScenarioResult runScenarioFile(const std::string &path);
+
+/** Load the script from @p path and run it with hooks. */
+ScenarioResult runScenarioFile(const std::string &path,
+                               const ScenarioHooks &hooks);
 
 }  // namespace uvmd::workloads
 

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the scenario fuzzer (src/verify/fuzzer): deterministic
+ * generation, valid output, clean campaigns on the real driver, and
+ * the find-and-shrink loop against an injected driver bug.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/logging.hpp"
+#include "verify/fuzzer.hpp"
+
+namespace uvmd::fuzz {
+namespace {
+
+using uvm::BugInjection;
+using verify::Outcome;
+
+std::size_t
+lineCount(const std::string &s)
+{
+    return static_cast<std::size_t>(
+        std::count(s.begin(), s.end(), '\n'));
+}
+
+class FuzzTest : public ::testing::Test
+{
+  protected:
+    FuzzTest() { sim::setLogLevel(sim::LogLevel::kQuiet); }
+    ~FuzzTest() override
+    {
+        sim::setLogLevel(sim::LogLevel::kNormal);
+    }
+
+    /** Campaign options that stay off the filesystem. */
+    FuzzOptions
+    quietOptions()
+    {
+        FuzzOptions opts;
+        opts.write_artifacts = false;
+        return opts;
+    }
+};
+
+TEST_F(FuzzTest, GenerationIsDeterministic)
+{
+    for (std::uint64_t seed : {1u, 7u, 1234u}) {
+        EXPECT_EQ(generateScenario(seed, false),
+                  generateScenario(seed, false));
+        EXPECT_EQ(generateScenario(seed, true),
+                  generateScenario(seed, true));
+    }
+    EXPECT_NE(generateScenario(1, false), generateScenario(2, false));
+    // The faults flag changes the script, not just the config echo.
+    EXPECT_NE(generateScenario(1, false), generateScenario(1, true));
+}
+
+TEST_F(FuzzTest, GeneratedScenariosAreValid)
+{
+    // Validity is "the parser accepts it": any other outcome class is
+    // judged by the campaign tests, but kParseError here means the
+    // generator and the DSL grammar have drifted apart.
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        for (bool faults : {false, true}) {
+            FuzzCaseResult r = runSeed(seed, [&] {
+                FuzzOptions o = quietOptions();
+                o.faults = faults;
+                o.shrink = false;
+                return o;
+            }());
+            EXPECT_NE(r.result.outcome, Outcome::kParseError)
+                << "seed " << seed << " faults " << faults << ": "
+                << r.result.message;
+        }
+    }
+}
+
+TEST_F(FuzzTest, CleanDriverSurvivesACampaign)
+{
+    FuzzOptions opts = quietOptions();
+    CampaignResult c = runCampaign(1, 5, opts);
+    EXPECT_TRUE(c.ok()) << c.failures << " failures; first: "
+                        << (c.failed.empty()
+                                ? ""
+                                : c.failed[0].result.message);
+    EXPECT_EQ(c.seeds_run, 5u);
+    EXPECT_GT(c.total_checks, 0u);
+}
+
+TEST_F(FuzzTest, InjectedBugIsFoundAndShrunk)
+{
+    // Against a deliberately broken driver the campaign must (a) find
+    // the bug within a handful of seeds and (b) shrink every failure
+    // to a reproducer a human can read at a glance.
+    FuzzOptions opts = quietOptions();
+    opts.verify.bug = BugInjection::kSilentDirtyBitChange;
+    CampaignResult c = runCampaign(1, 8, opts);
+    ASSERT_GT(c.failures, 0u);
+    for (const FuzzCaseResult &f : c.failed) {
+        EXPECT_EQ(f.result.outcome, Outcome::kDivergence);
+        EXPECT_FALSE(f.repro.empty());
+        EXPECT_LE(lineCount(f.repro), 15u)
+            << "seed " << f.seed << " repro:\n"
+            << f.repro;
+    }
+}
+
+TEST_F(FuzzTest, ShrinkKeepsTheOutcomeClass)
+{
+    FuzzOptions opts = quietOptions();
+    opts.verify.bug = BugInjection::kSilentDirtyBitChange;
+    CampaignResult c = runCampaign(1, 8, opts);
+    ASSERT_GT(c.failures, 0u);
+    // Re-running a shrunken reproducer standalone yields the same
+    // outcome class the original failure had.
+    const FuzzCaseResult &f = c.failed[0];
+    verify::VerifyResult again =
+        verify::runVerifiedScenario(f.repro, opts.verify);
+    EXPECT_EQ(again.outcome, f.result.outcome);
+}
+
+}  // namespace
+}  // namespace uvmd::fuzz

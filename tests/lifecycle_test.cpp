@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Lifecycle edge cases: operations racing or overlapping the end of a
+ * buffer's life.  Fuzzing campaigns hit these orderings constantly;
+ * each one here started as a "what should even happen?" question and
+ * the test pins the answer down.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cuda/runtime.hpp"
+#include "test_util.hpp"
+
+namespace uvmd::uvm {
+namespace {
+
+using cuda::CudaError;
+using cuda::KernelDesc;
+using cuda::Runtime;
+using mem::kBigPageSize;
+using mem::QueueKind;
+
+class LifecycleTest : public ::testing::Test
+{
+  protected:
+    LifecycleTest()
+        : rt_(test::tinyConfig(/*chunks=*/8), test::testLink())
+    {
+        sim::resetWarnCount();
+        sim::setLogLevel(sim::LogLevel::kQuiet);
+    }
+
+    ~LifecycleTest() override
+    {
+        sim::setLogLevel(sim::LogLevel::kNormal);
+    }
+
+    /** Kernel touching [addr, addr+size) with @p kind. */
+    KernelDesc
+    touchKernel(mem::VirtAddr addr, sim::Bytes size, AccessKind kind,
+                sim::SimDuration compute)
+    {
+        KernelDesc k;
+        k.name = "touch";
+        k.accesses = {{addr, size, kind}};
+        k.compute = compute;
+        return k;
+    }
+
+    Runtime rt_;
+};
+
+TEST_F(LifecycleTest, FreeMidKernelDrainsTheStreamFirst)
+{
+    // cudaFree of managed memory is synchronizing: the in-flight
+    // kernel (and its migrations) must complete before the range
+    // dies, so the free can never yank pages out from under a DMA.
+    mem::VirtAddr a = rt_.mallocManaged(2 * kBigPageSize, "a");
+    rt_.launch(touchKernel(a, 2 * kBigPageSize, AccessKind::kWrite,
+                           sim::milliseconds(3)));
+    EXPECT_LT(rt_.now(), sim::milliseconds(3));  // launch is async
+    EXPECT_EQ(rt_.tryFreeManaged(a), CudaError::kSuccess);
+    EXPECT_GE(rt_.now(), sim::milliseconds(3));  // drained before free
+    EXPECT_TRUE(rt_.driver().collectInvariantViolations().empty());
+}
+
+TEST_F(LifecycleTest, FreeMidPrefetchDrainsTheStreamFirst)
+{
+    mem::VirtAddr a = rt_.mallocManaged(4 * kBigPageSize, "a");
+    rt_.launch(touchKernel(a, 4 * kBigPageSize, AccessKind::kWrite, 0));
+    rt_.synchronize();
+    EXPECT_EQ(rt_.prefetchAsync(a, 4 * kBigPageSize,
+                                ProcessorId::gpu(0)),
+              CudaError::kSuccess);
+    EXPECT_EQ(rt_.tryFreeManaged(a), CudaError::kSuccess);
+    // Everything came back: the chunks and the pinned CPU pages.
+    EXPECT_EQ(rt_.driver().allocator().allocatedChunks(), 0u);
+    EXPECT_TRUE(rt_.driver().collectInvariantViolations().empty());
+}
+
+TEST_F(LifecycleTest, DiscardThenFreeReleasesEverything)
+{
+    mem::VirtAddr a = rt_.mallocManaged(kBigPageSize, "a");
+    rt_.launch(touchKernel(a, kBigPageSize, AccessKind::kWrite, 0));
+    EXPECT_EQ(rt_.discardAsync(a, kBigPageSize, DiscardMode::kEager),
+              CudaError::kSuccess);
+    // Free of a fully-discarded range: the block sits on the
+    // discarded queue with delayed reclamation pending; free must
+    // reclaim the chunk and not trip on the unusual queue state.
+    EXPECT_EQ(rt_.tryFreeManaged(a), CudaError::kSuccess);
+    EXPECT_EQ(rt_.driver().allocator().allocatedChunks(), 0u);
+    EXPECT_TRUE(rt_.driver().collectInvariantViolations().empty());
+}
+
+TEST_F(LifecycleTest, DoubleDiscardIsIdempotent)
+{
+    mem::VirtAddr a = rt_.mallocManaged(kBigPageSize, "a");
+    rt_.launch(touchKernel(a, kBigPageSize, AccessKind::kWrite, 0));
+    EXPECT_EQ(rt_.discardAsync(a, kBigPageSize, DiscardMode::kEager),
+              CudaError::kSuccess);
+    rt_.synchronize();
+    VaBlock *b = rt_.driver().vaSpace().blockOf(a);
+    EXPECT_EQ(b->discarded.count(), 512u);
+    EXPECT_EQ(b->link.on, QueueKind::kDiscarded);
+    // Again, and once more in the other mode: still discarded, still
+    // exactly one queue membership, no double-accounting.
+    EXPECT_EQ(rt_.discardAsync(a, kBigPageSize, DiscardMode::kEager),
+              CudaError::kSuccess);
+    EXPECT_EQ(rt_.discardAsync(a, kBigPageSize, DiscardMode::kLazy),
+              CudaError::kSuccess);
+    rt_.synchronize();
+    EXPECT_EQ(b->discarded.count(), 512u);
+    EXPECT_EQ(b->link.on, QueueKind::kDiscarded);
+    EXPECT_TRUE(rt_.driver().collectInvariantViolations().empty());
+}
+
+TEST_F(LifecycleTest, PrefetchOfFreedRangeIsRejected)
+{
+    mem::VirtAddr a = rt_.mallocManaged(kBigPageSize, "a");
+    rt_.freeManaged(a);
+    EXPECT_EQ(rt_.prefetchAsync(a, kBigPageSize, ProcessorId::gpu(0)),
+              CudaError::kErrorInvalidValue);
+    EXPECT_EQ(rt_.discardAsync(a, kBigPageSize, DiscardMode::kEager),
+              CudaError::kErrorInvalidValue);
+}
+
+TEST_F(LifecycleTest, DoubleFreeIsRejected)
+{
+    mem::VirtAddr a = rt_.mallocManaged(kBigPageSize, "a");
+    EXPECT_EQ(rt_.tryFreeManaged(a), CudaError::kSuccess);
+    EXPECT_EQ(rt_.tryFreeManaged(a), CudaError::kErrorInvalidValue);
+}
+
+TEST_F(LifecycleTest, LazyDiscardReuseWithoutPrefetchWarns)
+{
+    // The lazy-discard contract says the app re-populates via
+    // prefetch.  A lazy discard only flips dirty bits — the GPU
+    // mapping survives — so a kernel write afterwards is a TLB hit
+    // the hardware cannot report: the driver warns about the
+    // contract breach but intentionally leaves the discard state
+    // alone (the data is still at risk of reclamation).
+    mem::VirtAddr a = rt_.mallocManaged(kBigPageSize, "a");
+    rt_.launch(touchKernel(a, kBigPageSize, AccessKind::kWrite, 0));
+    EXPECT_EQ(rt_.discardAsync(a, kBigPageSize, DiscardMode::kLazy),
+              CudaError::kSuccess);
+    rt_.synchronize();
+    std::uint64_t warns = sim::warnCount();
+    rt_.launch(touchKernel(a, kBigPageSize, AccessKind::kWrite, 0));
+    rt_.synchronize();
+    EXPECT_GT(sim::warnCount(), warns);
+    VaBlock *b = rt_.driver().vaSpace().blockOf(a);
+    EXPECT_EQ(b->discarded.count(), 512u);
+    EXPECT_EQ(b->discarded_lazily.count(), 512u);
+    // The mandatory prefetch is what re-arms the pages.
+    EXPECT_EQ(rt_.prefetchAsync(a, kBigPageSize, ProcessorId::gpu(0)),
+              CudaError::kSuccess);
+    rt_.synchronize();
+    EXPECT_TRUE(b->discarded.none());
+    EXPECT_TRUE(b->discarded_lazily.none());
+    EXPECT_TRUE(rt_.driver().collectInvariantViolations().empty());
+}
+
+}  // namespace
+}  // namespace uvmd::uvm
