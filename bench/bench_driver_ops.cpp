@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <unordered_map>
+
 #include "interconnect/link.hpp"
 #include "uvm/driver.hpp"
 
@@ -139,6 +142,117 @@ BM_BlockLookup(benchmark::State &state)
     }
 }
 BENCHMARK(BM_BlockLookup);
+
+/**
+ * The hash-map block index the dense index replaced, kept benchmarked
+ * alongside (as done for the naive mask loops) so the lookup speedup
+ * stays measured.  The map is rebuilt from the live VaSpace, so both
+ * benchmarks probe identical block populations.
+ */
+void
+BM_BlockLookupMapReference(benchmark::State &state)
+{
+    uvm::UvmDriver drv(benchConfig(), interconnect::LinkSpec::pcie4());
+    mem::VirtAddr base =
+        drv.allocManaged(512 * mem::kBigPageSize, "bench");
+    std::unordered_map<std::uint64_t, uvm::VaBlock *> index;
+    drv.vaSpace().forEachBlockAll([&](uvm::VaBlock &b) {
+        index.emplace(b.base / mem::kBigPageSize, &b);
+    });
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        mem::VirtAddr addr =
+            base + (i++ % 512) * mem::kBigPageSize + 4096;
+        auto it = index.find(addr / mem::kBigPageSize);
+        benchmark::DoNotOptimize(it == index.end() ? nullptr
+                                                   : it->second);
+    }
+}
+BENCHMARK(BM_BlockLookupMapReference);
+
+/** Same-block streak: the one-entry cache turns the lookup into a
+ *  subtract-and-compare. */
+void
+BM_BlockLookupStreak(benchmark::State &state)
+{
+    uvm::UvmDriver drv(benchConfig(), interconnect::LinkSpec::pcie4());
+    mem::VirtAddr base =
+        drv.allocManaged(512 * mem::kBigPageSize, "bench");
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        mem::VirtAddr addr = base + (i++ % 512) * mem::kSmallPageSize;
+        benchmark::DoNotOptimize(drv.vaSpace().blockOf(addr));
+    }
+}
+BENCHMARK(BM_BlockLookupStreak);
+
+void
+BM_ForEachBlock(benchmark::State &state)
+{
+    uvm::UvmDriver drv(benchConfig(), interconnect::LinkSpec::pcie4());
+    sim::Bytes size = 64 * mem::kBigPageSize;
+    mem::VirtAddr base = drv.allocManaged(size, "bench");
+    for (auto _ : state) {
+        std::uint64_t acc = 0;
+        drv.vaSpace().forEachBlock(
+            base, size, [&](uvm::VaBlock &b, const uvm::PageMask &m) {
+                acc += b.base + m.count();
+            });
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_ForEachBlock);
+
+// ----------------------------------------------------------------
+// Stat counters: an interned sim::Counter & against the name-keyed
+// lookups it replaced — the plain map walk, and the worst pre-PR
+// offender, which also built a std::string key per event.
+// ----------------------------------------------------------------
+
+void
+BM_CounterInterned(benchmark::State &state)
+{
+    sim::StatGroup stats;
+    sim::Counter &c = stats.internCounter("bench_counter");
+    for (auto _ : state) {
+        c.inc();
+        benchmark::DoNotOptimize(c);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_CounterInterned);
+
+void
+BM_CounterNameLookup(benchmark::State &state)
+{
+    sim::StatGroup stats;
+    for (auto _ : state) {
+        sim::Counter &c = stats.counter("bench_counter");
+        c.inc();
+        benchmark::DoNotOptimize(c);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_CounterNameLookup);
+
+void
+BM_CounterNameLookupKeyBuild(benchmark::State &state)
+{
+    sim::StatGroup stats;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        // The retired per-transfer pattern: concatenate a cause
+        // suffix, then look the key up.
+        const char *cause =
+            uvm::toString(static_cast<uvm::TransferCause>(i++ % 4));
+        sim::Counter &c =
+            stats.counter(std::string("bytes_h2d.") + cause);
+        c.inc();
+        benchmark::DoNotOptimize(c);
+        benchmark::ClobberMemory();
+    }
+}
+BENCHMARK(BM_CounterNameLookupKeyBuild);
 
 void
 BM_ResidentAccessFastPath(benchmark::State &state)

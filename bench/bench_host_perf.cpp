@@ -10,7 +10,13 @@
  *                    so the speedup is measured, not assumed
  *   event_queue      schedule/run and schedule/cancel events per
  *                    second through sim::EventQueue
- *   driver_discard   the discard -> re-arm prefetch driver cycle
+ *   driver_ops       blockOf dense-index lookups vs the hash-map
+ *                    reference, and interned counter increments vs
+ *                    name-keyed lookup
+ *   driver_discard   the discard -> re-arm prefetch driver cycle;
+ *                    also reports allocs_per_iter, the heap
+ *                    allocations per warmed steady-state cycle
+ *                    (expected: 0)
  *   runtime_stream   a small Runtime workload; reports simulated
  *                    events per wall second from the event queue
  *   dl_sweep         a reduced DL sweep, serial and (if --jobs > 1)
@@ -19,16 +25,89 @@
  * Usage: bench_host_perf [--jobs N] [--out FILE] [--quick]
  */
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cuda/runtime.hpp"
 #include "dl_sweep.hpp"
 #include "sim/thread_pool.hpp"
 #include "sweep_runner.hpp"
+
+// ------------------------------------------------------------------
+// Allocation counting: every heap allocation in this binary bumps one
+// relaxed atomic, so the driver_discard stage can report the heap
+// traffic of a warmed steady-state cycle (allocs_per_iter; the gate
+// fails on any increase from 0).  The counting cost is one relaxed
+// increment per allocation — negligible against malloc itself.
+// ------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    std::size_t a = static_cast<std::size_t>(align);
+    std::size_t rounded = ((size ? size : 1) + a - 1) / a * a;
+    if (void *p = std::aligned_alloc(a, rounded))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
 
 namespace {
 
@@ -47,6 +126,16 @@ struct Metric {
     std::string name;
     double value;
 };
+
+/** Compiler barrier: forces @p value to exist each iteration and
+ *  clobbers memory, so measured loops are neither elided nor
+ *  collapsed into a single strength-reduced update. */
+template <typename T>
+inline void
+keep(T const &value)
+{
+    asm volatile("" : : "r,m"(value) : "memory");
+}
 
 struct BenchResult {
     std::string name;
@@ -182,6 +271,78 @@ benchEventQueue(int events)
 }
 
 BenchResult
+benchDriverOps(int iters)
+{
+    BenchResult res;
+    res.name = "driver_ops";
+    Clock::time_point start = Clock::now();
+
+    uvm::UvmConfig cfg = uvm::UvmConfig::rtx3080ti();
+    cfg.gpu_memory = 1024 * mem::kBigPageSize;
+    uvm::UvmDriver drv(cfg, interconnect::LinkSpec::pcie4());
+    mem::VirtAddr base =
+        drv.allocManaged(512 * mem::kBigPageSize, "perf");
+
+    // Dense-index blockOf, striding across 512 blocks (cache-miss
+    // shape: every probe leaves the previous block).
+    Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+        mem::VirtAddr addr =
+            base + (static_cast<std::uint64_t>(i) % 512) *
+                       mem::kBigPageSize +
+            4096;
+        keep(drv.vaSpace().blockOf(addr));
+    }
+    double dense_ms = msSince(t0);
+
+    // The hash-map index it replaced, probing the same population.
+    std::unordered_map<std::uint64_t, uvm::VaBlock *> map_index;
+    drv.vaSpace().forEachBlockAll([&](uvm::VaBlock &b) {
+        map_index.emplace(b.base / mem::kBigPageSize, &b);
+    });
+    t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+        mem::VirtAddr addr =
+            base + (static_cast<std::uint64_t>(i) % 512) *
+                       mem::kBigPageSize +
+            4096;
+        auto it = map_index.find(addr / mem::kBigPageSize);
+        keep(it == map_index.end() ? nullptr : it->second);
+    }
+    double map_ms = msSince(t0);
+
+    // Interned counter increments vs the name-keyed lookup they
+    // replaced.
+    sim::StatGroup stats;
+    sim::Counter &interned = stats.internCounter("perf_counter");
+    t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+        interned.inc();
+        keep(interned);
+    }
+    double interned_ms = msSince(t0);
+
+    t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+        stats.counter("perf_counter").inc();
+        keep(stats);
+    }
+    double name_ms = msSince(t0);
+
+    res.wall_ms = msSince(start);
+    double n = iters;
+    res.metrics = {
+        {"blockof_per_sec", 1000.0 * n / dense_ms},
+        {"blockof_map_per_sec", 1000.0 * n / map_ms},
+        {"blockof_speedup", map_ms / dense_ms},
+        {"counter_inc_per_sec", 1000.0 * n / interned_ms},
+        {"counter_name_per_sec", 1000.0 * n / name_ms},
+        {"counter_speedup", name_ms / interned_ms},
+    };
+    return res;
+}
+
+BenchResult
 benchDriverDiscard(int cycles)
 {
     BenchResult res;
@@ -194,14 +355,25 @@ benchDriverDiscard(int cycles)
     sim::Bytes size = 128 * mem::kBigPageSize;
     mem::VirtAddr base = drv.allocManaged(size, "perf");
     sim::SimTime t = drv.prefetch(base, size, uvm::ProcessorId::gpu(0), 0);
+    // Warm the steady state (chunks allocated, counters live) before
+    // counting heap traffic.
+    for (int i = 0; i < 3; ++i) {
+        t = drv.discard(base, size, uvm::DiscardMode::kEager, t);
+        t = drv.prefetch(base, size, uvm::ProcessorId::gpu(0), t);
+    }
+    std::uint64_t allocs_before =
+        g_alloc_count.load(std::memory_order_relaxed);
     for (int i = 0; i < cycles; ++i) {
         t = drv.discard(base, size, uvm::DiscardMode::kEager, t);
         t = drv.prefetch(base, size, uvm::ProcessorId::gpu(0), t);
     }
+    std::uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
 
     res.wall_ms = msSince(start);
     res.metrics = {
         {"discard_rearm_per_sec", 1000.0 * cycles / res.wall_ms},
+        {"allocs_per_iter", static_cast<double>(allocs) / cycles},
     };
     return res;
 }
@@ -289,7 +461,7 @@ benchDlSweep(int jobs, bool quick)
 }
 
 void
-writeJson(const std::string &path, int jobs,
+writeJson(const std::string &path, int jobs, bool quick,
           const std::vector<BenchResult> &benches)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
@@ -299,8 +471,11 @@ writeJson(const std::string &path, int jobs,
     }
     std::fprintf(f, "{\n  \"schema\": \"uvmd-perf-v1\",\n");
     std::fprintf(
-        f, "  \"host\": { \"cores\": %zu, \"jobs\": %d },\n",
-        sim::ThreadPool::hardwareConcurrency(), jobs);
+        f,
+        "  \"host\": { \"cores\": %zu, \"jobs\": %d, "
+        "\"quick\": %s },\n",
+        sim::ThreadPool::hardwareConcurrency(), jobs,
+        quick ? "true" : "false");
     std::fprintf(f, "  \"benches\": [\n");
     for (std::size_t i = 0; i < benches.size(); ++i) {
         const BenchResult &b = benches[i];
@@ -354,6 +529,7 @@ main(int argc, char **argv)
     std::vector<BenchResult> benches;
     benches.push_back(benchMaskOps(100'000 * scale));
     benches.push_back(benchEventQueue(100'000 * scale));
+    benches.push_back(benchDriverOps(1'000'000 * scale));
     benches.push_back(benchDriverDiscard(2'000 * scale));
     benches.push_back(benchRuntimeStream(200 * scale));
     benches.push_back(benchDlSweep(1, quick));
@@ -373,6 +549,6 @@ main(int argc, char **argv)
     table.print();
 
     if (!out.empty())
-        writeJson(out, jobs, benches);
+        writeJson(out, jobs, quick, benches);
     return 0;
 }

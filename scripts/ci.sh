@@ -13,9 +13,13 @@
 #      200); failing reproducers are preserved in
 #      build/fuzz-artifacts/,
 #   6. a perf smoke stage (release build): bench_host_perf emits
-#      BENCH_perf.json, and one table sweep runs serial and parallel
-#      with the CSVs asserted bit-identical (the --jobs determinism
-#      contract, docs/performance.md).
+#      BENCH_perf.json, which is gated against the committed
+#      BENCH_baseline.json by scripts/perf_gate.py (throughput and
+#      wall-clock within a tolerance band, allocs_per_iter may never
+#      increase; UVMD_PERF_STRICT=0 downgrades the gate to
+#      report-only for noisy machines); then one table sweep runs
+#      serial and parallel with the CSVs asserted bit-identical (the
+#      --jobs determinism contract, docs/performance.md).
 #
 # Usage: scripts/ci.sh [-j N]
 set -euo pipefail
@@ -70,6 +74,10 @@ cmake --build --preset release -j "$JOBS"
 echo "== perf smoke (release build) =="
 build-release/bench/bench_host_perf --quick --jobs "$JOBS" \
     --out build-release/BENCH_perf.json
+
+echo "== perf gate (vs committed baseline) =="
+python3 scripts/perf_gate.py BENCH_baseline.json \
+    build-release/BENCH_perf.json
 
 echo "== sweep determinism: serial vs parallel CSVs =="
 rm -rf build-release/sweep-serial build-release/sweep-parallel

@@ -5,11 +5,18 @@
 # full figure/table harnesses are timed as well and appended to the
 # JSON (slow: minutes, not seconds).
 #
-# Usage: scripts/perf.sh [-j N] [-q] [-F] [-o FILE]
+# After the run, the results are diffed against the committed
+# BENCH_baseline.json (scripts/perf_gate.py, 15% tolerance band);
+# regressions fail the script unless UVMD_PERF_STRICT=0.  Use -B to
+# re-baseline: the fresh BENCH_perf.json is copied over
+# BENCH_baseline.json instead of being gated (commit the result).
+#
+# Usage: scripts/perf.sh [-j N] [-q] [-F] [-B] [-o FILE]
 #   -j N   worker threads for the parallel sweep stages
 #          (default: all hardware threads; 1 disables the pool)
 #   -q     quick mode — reduced iteration counts, for CI smoke
 #   -F     also time bench_fig5/6/7 and the table harnesses
+#   -B     re-baseline: overwrite BENCH_baseline.json, skip the gate
 #   -o F   output JSON path (default: BENCH_perf.json in the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,14 +24,18 @@ cd "$(dirname "$0")/.."
 JOBS=$(nproc 2>/dev/null || echo 4)
 QUICK=""
 FULL=0
+REBASELINE=0
 OUT="$PWD/BENCH_perf.json"
-while getopts "j:qFo:" flag; do
+BASELINE="$PWD/BENCH_baseline.json"
+while getopts "j:qFBo:" flag; do
     case "$flag" in
       j) JOBS="$OPTARG" ;;
       q) QUICK="--quick" ;;
       F) FULL=1 ;;
+      B) REBASELINE=1 ;;
       o) OUT="$OPTARG" ;;
-      *) echo "usage: $0 [-j N] [-q] [-F] [-o FILE]" >&2; exit 2 ;;
+      *) echo "usage: $0 [-j N] [-q] [-F] [-B] [-o FILE]" >&2
+         exit 2 ;;
     esac
 done
 
@@ -72,6 +83,20 @@ EOF
     else
         echo "python3 not found; harness timings not merged into JSON"
     fi
+fi
+
+if [ "$REBASELINE" -eq 1 ]; then
+    cp "$OUT" "$BASELINE"
+    echo "perf: re-baselined — commit $BASELINE"
+elif [ -f "$BASELINE" ]; then
+    echo "== regression gate (vs BENCH_baseline.json) =="
+    if command -v python3 >/dev/null 2>&1; then
+        python3 scripts/perf_gate.py "$BASELINE" "$OUT"
+    else
+        echo "python3 not found; regression gate skipped"
+    fi
+else
+    echo "perf: no BENCH_baseline.json; run with -B to create one"
 fi
 
 echo "perf: done — $OUT"

@@ -20,28 +20,28 @@ DmaScheduler::DmaScheduler(const LinkSpec &spec, int engines_per_dir)
     d2h_offline_.assign(d2h_engines_.size(), false);
 }
 
-std::vector<bool> &
+DmaScheduler::OfflineVec &
 DmaScheduler::offlineLane(Direction dir)
 {
     return dir == Direction::kHostToDevice ? h2d_offline_
                                            : d2h_offline_;
 }
 
-const std::vector<bool> &
+const DmaScheduler::OfflineVec &
 DmaScheduler::offlineLane(Direction dir) const
 {
     return dir == Direction::kHostToDevice ? h2d_offline_
                                            : d2h_offline_;
 }
 
-std::vector<sim::Resource> &
+DmaScheduler::EngineVec &
 DmaScheduler::lane(Direction dir)
 {
     return dir == Direction::kHostToDevice ? h2d_engines_
                                            : d2h_engines_;
 }
 
-const std::vector<sim::Resource> &
+const DmaScheduler::EngineVec &
 DmaScheduler::lane(Direction dir) const
 {
     return dir == Direction::kHostToDevice ? h2d_engines_
@@ -51,8 +51,8 @@ DmaScheduler::lane(Direction dir) const
 std::uint32_t
 DmaScheduler::pickEngine(Direction dir) const
 {
-    const std::vector<sim::Resource> &engines = lane(dir);
-    const std::vector<bool> &offline = offlineLane(dir);
+    const auto &engines = lane(dir);
+    const auto &offline = offlineLane(dir);
     std::uint32_t best = engines.size();
     for (std::uint32_t i = 0; i < engines.size(); ++i) {
         if (offline[i])
@@ -71,7 +71,7 @@ DmaScheduler::issueOn(std::uint32_t engine, Direction dir,
                       sim::SimTime earliest, sim::Bytes bytes,
                       std::uint32_t new_descriptors)
 {
-    std::vector<sim::Resource> &engines = lane(dir);
+    auto &engines = lane(dir);
     if (engine >= engines.size())
         sim::panic("DmaScheduler: bad engine index");
     if (offlineLane(dir)[engine])
@@ -90,7 +90,7 @@ sim::SimTime
 DmaScheduler::retryOn(std::uint32_t engine, Direction dir,
                       sim::SimTime earliest, sim::Bytes bytes)
 {
-    std::vector<sim::Resource> &engines = lane(dir);
+    auto &engines = lane(dir);
     if (engine >= engines.size())
         sim::panic("DmaScheduler: bad engine index");
     if (offlineLane(dir)[engine])
@@ -105,8 +105,8 @@ bool
 DmaScheduler::setEngineOffline(Direction dir, std::uint32_t index,
                                sim::SimTime now)
 {
-    std::vector<sim::Resource> &engines = lane(dir);
-    std::vector<bool> &offline = offlineLane(dir);
+    auto &engines = lane(dir);
+    auto &offline = offlineLane(dir);
     if (index >= engines.size() || offline[index])
         return false;
     if (onlineEngines(dir) <= 1)
@@ -124,7 +124,7 @@ DmaScheduler::setEngineOffline(Direction dir, std::uint32_t index,
 bool
 DmaScheduler::engineOffline(Direction dir, std::uint32_t index) const
 {
-    const std::vector<bool> &offline = offlineLane(dir);
+    const auto &offline = offlineLane(dir);
     return index < offline.size() && offline[index];
 }
 
@@ -148,7 +148,7 @@ DmaScheduler::scaleBandwidth(double factor)
 sim::Resource &
 DmaScheduler::engineAt(Direction dir, std::uint32_t index)
 {
-    std::vector<sim::Resource> &engines = lane(dir);
+    auto &engines = lane(dir);
     if (index >= engines.size())
         sim::panic("DmaScheduler: bad engine index");
     return engines[index];
@@ -157,7 +157,7 @@ DmaScheduler::engineAt(Direction dir, std::uint32_t index)
 const sim::Resource &
 DmaScheduler::engineAt(Direction dir, std::uint32_t index) const
 {
-    const std::vector<sim::Resource> &engines = lane(dir);
+    const auto &engines = lane(dir);
     if (index >= engines.size())
         sim::panic("DmaScheduler: bad engine index");
     return engines[index];

@@ -19,9 +19,9 @@
 #define UVMD_INTERCONNECT_DMA_SCHEDULER_HPP
 
 #include <cstdint>
-#include <vector>
 
 #include "interconnect/link_spec.hpp"
+#include "sim/arena.hpp"
 #include "sim/resource.hpp"
 #include "sim/stats.hpp"
 
@@ -30,6 +30,12 @@ namespace uvmd::interconnect {
 class DmaScheduler
 {
   public:
+    /** Engine timelines and offline flags stay inline for the common
+     *  copy_engines_per_dir values, so constructing a link (and there
+     *  is one per GPU per driver) never allocates for them. */
+    using EngineVec = sim::SmallVec<sim::Resource, 4>;
+    using OfflineVec = sim::SmallVec<bool, 4>;
+
     /**
      * @param spec            the link whose engines are scheduled
      * @param engines_per_dir copy engines per direction (>= 1)
@@ -127,18 +133,18 @@ class DmaScheduler
     void reset();
 
   private:
-    std::vector<sim::Resource> &lane(Direction dir);
-    const std::vector<sim::Resource> &lane(Direction dir) const;
+    EngineVec &lane(Direction dir);
+    const EngineVec &lane(Direction dir) const;
 
-    std::vector<bool> &offlineLane(Direction dir);
-    const std::vector<bool> &offlineLane(Direction dir) const;
+    OfflineVec &offlineLane(Direction dir);
+    const OfflineVec &offlineLane(Direction dir) const;
 
     LinkSpec spec_;
     int engines_per_dir_;
-    std::vector<sim::Resource> h2d_engines_;
-    std::vector<sim::Resource> d2h_engines_;
-    std::vector<bool> h2d_offline_;
-    std::vector<bool> d2h_offline_;
+    EngineVec h2d_engines_;
+    EngineVec d2h_engines_;
+    OfflineVec h2d_offline_;
+    OfflineVec d2h_offline_;
     double bandwidth_factor_ = 1.0;
     std::uint64_t h2d_descriptors_ = 0;
     std::uint64_t d2h_descriptors_ = 0;

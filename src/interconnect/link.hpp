@@ -83,11 +83,11 @@ class Link
     accountTraffic(sim::Bytes bytes, Direction dir)
     {
         if (dir == Direction::kHostToDevice) {
-            stats_.counter("bytes_h2d").inc(bytes);
-            stats_.counter("transfers_h2d").inc();
+            bytes_h2d_.inc(bytes);
+            transfers_h2d_.inc();
         } else {
-            stats_.counter("bytes_d2h").inc(bytes);
-            stats_.counter("transfers_d2h").inc();
+            bytes_d2h_.inc(bytes);
+            transfers_d2h_.inc();
         }
     }
 
@@ -101,10 +101,10 @@ class Link
 
     sim::Bytes totalBytes() const
     {
-        return stats_.get("bytes_h2d") + stats_.get("bytes_d2h");
+        return bytes_h2d_.value() + bytes_d2h_.value();
     }
-    sim::Bytes bytesH2d() const { return stats_.get("bytes_h2d"); }
-    sim::Bytes bytesD2h() const { return stats_.get("bytes_d2h"); }
+    sim::Bytes bytesH2d() const { return bytes_h2d_.value(); }
+    sim::Bytes bytesD2h() const { return bytes_d2h_.value(); }
 
     const sim::StatGroup &stats() const { return stats_; }
 
@@ -119,6 +119,14 @@ class Link
     LinkSpec spec_;
     DmaScheduler sched_;
     sim::StatGroup stats_;
+    // Interned traffic handles: accountTraffic sits on every transfer.
+    // Hidden until the first byte moves, so idle links keep dumping
+    // an empty stat group.  (Links are built in place and never
+    // copied; reference members are safe here.)
+    sim::Counter &bytes_h2d_{stats_.internCounter("bytes_h2d")};
+    sim::Counter &transfers_h2d_{stats_.internCounter("transfers_h2d")};
+    sim::Counter &bytes_d2h_{stats_.internCounter("bytes_d2h")};
+    sim::Counter &transfers_d2h_{stats_.internCounter("transfers_d2h")};
 };
 
 }  // namespace uvmd::interconnect

@@ -44,7 +44,7 @@ ChunkAllocator::tryAllocChunk()
     if (freeChunks() == 0)
         return false;
     ++allocated_chunks_;
-    stats_.counter("chunk_allocs").inc();
+    chunk_allocs_.inc();
     return true;
 }
 
@@ -54,7 +54,7 @@ ChunkAllocator::freeChunk()
     if (allocated_chunks_ == 0)
         sim::panic("ChunkAllocator: free with no allocated chunks");
     --allocated_chunks_;
-    stats_.counter("chunk_frees").inc();
+    chunk_frees_.inc();
 }
 
 void
@@ -64,7 +64,7 @@ ChunkAllocator::retireAllocatedChunk()
         sim::panic("ChunkAllocator: retire with no allocated chunks");
     --allocated_chunks_;
     ++retired_chunks_;
-    stats_.counter("chunks_retired").inc();
+    chunks_retired_.inc();
 }
 
 }  // namespace uvmd::mem

@@ -106,6 +106,13 @@ class ChunkAllocator
     std::uint64_t reserved_chunks_ = 0;
     std::uint64_t retired_chunks_ = 0;
     sim::StatGroup stats_;
+    // Interned handles: chunk churn is per-migration hot.  Hidden
+    // until the first alloc/free/retire so fresh allocators still
+    // dump an empty stat group.
+    sim::Counter &chunk_allocs_{stats_.internCounter("chunk_allocs")};
+    sim::Counter &chunk_frees_{stats_.internCounter("chunk_frees")};
+    sim::Counter &chunks_retired_{
+        stats_.internCounter("chunks_retired")};
 };
 
 }  // namespace uvmd::mem

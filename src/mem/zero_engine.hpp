@@ -34,8 +34,8 @@ class ZeroEngine
     sim::SimDuration
     zeroCost(sim::Bytes bytes)
     {
-        stats_.counter("zero_ops").inc();
-        stats_.counter("zero_bytes").inc(bytes);
+        zero_ops_.inc();
+        zero_bytes_.inc(bytes);
         return setup_ + sim::transferTime(bytes, bandwidth_gbps_);
     }
 
@@ -46,6 +46,8 @@ class ZeroEngine
     double bandwidth_gbps_;
     sim::SimDuration setup_;
     sim::StatGroup stats_;
+    sim::Counter &zero_ops_{stats_.internCounter("zero_ops")};
+    sim::Counter &zero_bytes_{stats_.internCounter("zero_bytes")};
 };
 
 }  // namespace uvmd::mem

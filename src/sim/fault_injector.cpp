@@ -61,7 +61,7 @@ bool FaultInjector::dmaDescriptorFails()
     if (!rng_.chance(plan_.dma_fault_rate)) {
         return false;
     }
-    tally_.counter("dma_faults").inc();
+    dma_faults_.inc();
     return true;
 }
 
@@ -73,7 +73,7 @@ bool FaultInjector::allocFails()
     if (!rng_.chance(plan_.alloc_fail_rate)) {
         return false;
     }
-    tally_.counter("alloc_faults").inc();
+    alloc_faults_.inc();
     return true;
 }
 
@@ -85,7 +85,7 @@ bool FaultInjector::chunkFails()
     if (!rng_.chance(plan_.chunk_retire_rate)) {
         return false;
     }
-    tally_.counter("chunk_faults").inc();
+    chunk_faults_.inc();
     return true;
 }
 
@@ -117,11 +117,11 @@ int FaultInjector::noteLinkEventApplied(const LinkFaultEvent &ev)
 {
     int tallied = 0;
     if (ev.bandwidth_factor < 1.0) {
-        tally_.counter("link_degrades").inc();
+        link_degrades_.inc();
         ++tallied;
     }
     if (ev.offline_engine >= 0) {
-        tally_.counter("engines_offlined").inc();
+        engines_offlined_.inc();
         ++tallied;
     }
     return tallied;

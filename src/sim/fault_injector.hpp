@@ -165,6 +165,15 @@ class FaultInjector
     FaultPlan plan_;
     Rng rng_{1};
     StatGroup tally_;
+    // Interned tally handles (hidden until a fault actually fires;
+    // the enabled-injector constructor makes them visible up front so
+    // reconciliation tests can always read them).
+    Counter &dma_faults_{tally_.internCounter("dma_faults")};
+    Counter &chunk_faults_{tally_.internCounter("chunk_faults")};
+    Counter &alloc_faults_{tally_.internCounter("alloc_faults")};
+    Counter &link_degrades_{tally_.internCounter("link_degrades")};
+    Counter &engines_offlined_{
+        tally_.internCounter("engines_offlined")};
     std::size_t next_link_event_ = 0;
 };
 

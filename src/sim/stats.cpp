@@ -8,7 +8,8 @@ StatGroup::counterNames() const
     std::vector<std::string> names;
     names.reserve(counters_.size());
     for (const auto &kv : counters_)
-        names.push_back(kv.first);
+        if (kv.second.live())
+            names.push_back(kv.first);
     return names;
 }
 
@@ -25,7 +26,8 @@ void
 StatGroup::dump(std::ostream &os, const std::string &prefix) const
 {
     for (const auto &kv : counters_)
-        os << prefix << kv.first << " " << kv.second.value() << "\n";
+        if (kv.second.live())
+            os << prefix << kv.first << " " << kv.second.value() << "\n";
     for (const auto &kv : dists_) {
         const auto &d = kv.second;
         os << prefix << kv.first << "::count " << d.count() << "\n";
@@ -43,6 +45,8 @@ StatGroup::dumpJson(std::ostream &os) const
     os << "{";
     bool first = true;
     for (const auto &kv : counters_) {
+        if (!kv.second.live())
+            continue;
         if (!first)
             os << ",";
         first = false;

@@ -21,19 +21,42 @@
 
 namespace uvmd::sim {
 
-/** A monotonically accumulating scalar statistic. */
+/**
+ * A monotonically accumulating scalar statistic.
+ *
+ * A counter is either *live* (appears in dumps and name listings) or
+ * *hidden* (pre-registered via StatGroup::internCounter but never
+ * touched).  Any write makes it live, so interning hot counters ahead
+ * of time does not change what a dump looks like.
+ */
 class Counter
 {
   public:
     Counter() = default;
 
-    void inc(std::uint64_t by = 1) { value_ += by; }
-    void set(std::uint64_t v) { value_ = v; }
+    void
+    inc(std::uint64_t by = 1)
+    {
+        value_ += by;
+        live_ = true;
+    }
+
+    void
+    set(std::uint64_t v)
+    {
+        value_ = v;
+        live_ = true;
+    }
+
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+    bool live() const { return live_; }
 
   private:
+    friend class StatGroup;
+
     std::uint64_t value_ = 0;
+    bool live_ = true;
 };
 
 /** Simple min/max/mean/count distribution. */
@@ -79,21 +102,49 @@ class Distribution
 class StatGroup
 {
   public:
-    Counter &counter(const std::string &name) { return counters_[name]; }
+    /** Name-based lookup-or-create; the counter is (or becomes) live. */
+    Counter &
+    counter(const std::string &name)
+    {
+        Counter &c = counters_[name];
+        c.live_ = true;
+        return c;
+    }
+
     Distribution &dist(const std::string &name) { return dists_[name]; }
 
-    /** Read a counter without creating it (0 if absent). */
+    /**
+     * Resolve a counter into a long-lived reference without making it
+     * visible.  Hot paths intern their counters once at construction
+     * and increment through the reference; the counter only shows up
+     * in dumps/listings after its first write, so interning is
+     * observationally identical to lazy registration.  References stay
+     * valid for the StatGroup's lifetime (std::map nodes are stable).
+     */
+    Counter &
+    internCounter(const std::string &name)
+    {
+        auto [it, inserted] = counters_.try_emplace(name);
+        if (inserted)
+            it->second.live_ = false;
+        return it->second;
+    }
+
+    /** Read a counter without creating it (0 if absent or untouched). */
     std::uint64_t
     get(const std::string &name) const
     {
         auto it = counters_.find(name);
-        return it == counters_.end() ? 0 : it->second.value();
+        return it == counters_.end() || !it->second.live()
+                   ? 0
+                   : it->second.value();
     }
 
     bool
     has(const std::string &name) const
     {
-        return counters_.count(name) != 0;
+        auto it = counters_.find(name);
+        return it != counters_.end() && it->second.live();
     }
 
     /** All counter names in sorted order (for dumps and tests). */

@@ -6,14 +6,23 @@
 
 namespace uvmd::trace {
 
+TransferLog::Entry &
+TransferLog::append()
+{
+    if (size_ == chunks_.size() * kChunkEntries)
+        chunks_.push_back(std::make_unique<Entry[]>(kChunkEntries));
+    Entry &slot = chunks_[size_ / kChunkEntries][size_ % kChunkEntries];
+    ++size_;
+    return slot;
+}
+
 void
 TransferLog::push(Event e, const uvm::VaBlock &b,
                   const uvm::PageMask &p, interconnect::Direction d,
                   uvm::TransferCause c)
 {
-    entries_.push_back(Entry{next_ordinal_++, e, b.base,
-                             static_cast<std::uint32_t>(p.count()), d,
-                             c});
+    append() = Entry{next_ordinal_++, e, b.base,
+                     static_cast<std::uint32_t>(p.count()), d, c};
 }
 
 void
@@ -78,10 +87,9 @@ TransferLog::onFault(uvm::FaultEvent e, mem::VirtAddr base,
       default:
         break;
     }
-    Entry entry{next_ordinal_++, kind, base, pages,
-                interconnect::Direction::kDeviceToHost,
-                uvm::TransferCause::kEviction, e};
-    entries_.push_back(entry);
+    append() = Entry{next_ordinal_++, kind, base, pages,
+                     interconnect::Direction::kDeviceToHost,
+                     uvm::TransferCause::kEviction, e};
 }
 
 std::vector<TransferLog::Entry>
@@ -89,10 +97,10 @@ TransferLog::entriesFor(mem::VirtAddr addr) const
 {
     mem::VirtAddr base = mem::alignDown(addr, mem::kBigPageSize);
     std::vector<Entry> result;
-    for (const Entry &e : entries_) {
+    forEach([&](const Entry &e) {
         if (e.block_base == base)
             result.push_back(e);
-    }
+    });
     return result;
 }
 
@@ -131,7 +139,7 @@ TransferLog::writeCsv(const std::string &path) const
         return;
     }
     std::fprintf(f, "ordinal,event,block,pages,direction,cause\n");
-    for (const Entry &e : entries_) {
+    forEach([&](const Entry &e) {
         bool is_fault = e.event == Event::kFault ||
                         e.event == Event::kRetry ||
                         e.event == Event::kRetirement ||
@@ -146,7 +154,7 @@ TransferLog::writeCsv(const std::string &path) const
                      e.pages, interconnect::toString(e.dir),
                      is_fault ? uvm::toString(e.fault)
                               : uvm::toString(e.cause));
-    }
+    });
     std::fclose(f);
 }
 

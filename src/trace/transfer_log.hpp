@@ -12,9 +12,11 @@
 #ifndef UVMD_TRACE_TRANSFER_LOG_HPP
 #define UVMD_TRACE_TRANSFER_LOG_HPP
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "uvm/observer.hpp"
 
 namespace uvmd::trace {
@@ -23,12 +25,21 @@ namespace uvmd::trace {
 class ObserverMux : public uvm::TransferObserver
 {
   public:
-    void add(uvm::TransferObserver *obs) { observers_.push_back(obs); }
+    void
+    add(uvm::TransferObserver *obs)
+    {
+        observers_.push_back(obs);
+        single_ = observers_.size() == 1 ? observers_[0] : nullptr;
+    }
 
     void
     onTransfer(const uvm::VaBlock &b, const uvm::PageMask &p,
                interconnect::Direction d, uvm::TransferCause c) override
     {
+        if (single_) {
+            single_->onTransfer(b, p, d, c);
+            return;
+        }
         for (auto *o : observers_)
             o->onTransfer(b, p, d, c);
     }
@@ -38,6 +49,10 @@ class ObserverMux : public uvm::TransferObserver
                       interconnect::Direction d,
                       uvm::TransferCause c) override
     {
+        if (single_) {
+            single_->onTransferSkipped(b, p, d, c);
+            return;
+        }
         for (auto *o : observers_)
             o->onTransferSkipped(b, p, d, c);
     }
@@ -46,6 +61,10 @@ class ObserverMux : public uvm::TransferObserver
     onAccess(const uvm::VaBlock &b, const uvm::PageMask &p, bool r,
              bool w, uvm::ProcessorId where) override
     {
+        if (single_) {
+            single_->onAccess(b, p, r, w, where);
+            return;
+        }
         for (auto *o : observers_)
             o->onAccess(b, p, r, w, where);
     }
@@ -53,6 +72,10 @@ class ObserverMux : public uvm::TransferObserver
     void
     onDiscard(const uvm::VaBlock &b, const uvm::PageMask &p) override
     {
+        if (single_) {
+            single_->onDiscard(b, p);
+            return;
+        }
         for (auto *o : observers_)
             o->onDiscard(b, p);
     }
@@ -60,6 +83,10 @@ class ObserverMux : public uvm::TransferObserver
     void
     onFree(const uvm::VaBlock &b, const uvm::PageMask &p) override
     {
+        if (single_) {
+            single_->onFree(b, p);
+            return;
+        }
         for (auto *o : observers_)
             o->onFree(b, p);
     }
@@ -68,12 +95,19 @@ class ObserverMux : public uvm::TransferObserver
     onFault(uvm::FaultEvent e, mem::VirtAddr base,
             std::uint32_t pages) override
     {
+        if (single_) {
+            single_->onFault(e, base, pages);
+            return;
+        }
         for (auto *o : observers_)
             o->onFault(e, base, pages);
     }
 
   private:
-    std::vector<uvm::TransferObserver *> observers_;
+    sim::SmallVec<uvm::TransferObserver *, 4> observers_;
+    /** Non-null iff exactly one observer is attached (the common
+     *  case): forward directly, no fan-out loop. */
+    uvm::TransferObserver *single_ = nullptr;
 };
 
 /** Records transfer-level events in order. */
@@ -124,9 +158,30 @@ class TransferLog : public uvm::TransferObserver
     void onFault(uvm::FaultEvent e, mem::VirtAddr base,
                  std::uint32_t pages) override;
 
-    const std::vector<Entry> &entries() const { return entries_; }
-    std::size_t size() const { return entries_.size(); }
-    void clear() { entries_.clear(); }
+    /** Entries per chunk.  Appends allocate a fresh chunk every 4096
+     *  entries and never move existing entries, so long traces don't
+     *  pay vector reallocate-and-copy spikes. */
+    static constexpr std::size_t kChunkEntries = 4096;
+
+    const Entry &
+    entry(std::size_t i) const
+    {
+        return chunks_[i / kChunkEntries][i % kChunkEntries];
+    }
+
+    /** Invoke @p fn on every entry, in record order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < size_; ++i)
+            fn(entry(i));
+    }
+
+    std::size_t size() const { return size_; }
+
+    /** Drop all entries; allocated chunks are kept for reuse. */
+    void clear() { size_ = 0; }
 
     /** Entries touching the block that contains @p addr. */
     std::vector<Entry> entriesFor(mem::VirtAddr addr) const;
@@ -140,9 +195,13 @@ class TransferLog : public uvm::TransferObserver
     void push(Event e, const uvm::VaBlock &b, const uvm::PageMask &p,
               interconnect::Direction d, uvm::TransferCause c);
 
+    /** Slot for the next entry, growing the chunk list if needed. */
+    Entry &append();
+
     bool log_accesses_;
     std::uint64_t next_ordinal_ = 0;
-    std::vector<Entry> entries_;
+    std::vector<std::unique_ptr<Entry[]>> chunks_;
+    std::size_t size_ = 0;
 };
 
 }  // namespace uvmd::trace

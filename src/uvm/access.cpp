@@ -70,7 +70,7 @@ UvmDriver::gpuTouchBlock(VaBlock &block, const PageMask &m,
         // TLB-hit path: no driver involvement.
         PageMask disc = m & block.discarded;
         if (disc.any() && writes(kind)) {
-            counters_.counter("lazy_contract_writes").inc();
+            cnt_.lazy_contract_writes.inc();
             if (cfg_.lazy_contract_warnings &&
                 (disc & block.discarded_lazily).any()) {
                 sim::warn("kernel writes lazily-discarded pages at " +
@@ -90,13 +90,13 @@ UvmDriver::gpuTouchBlock(VaBlock &block, const PageMask &m,
     // The block's faults enter the replayable fault buffer; a fresh
     // batch pays the drain/dedup/replay overhead once.
     if (*batch_fill == 0) {
-        counters_.counter("gpu_fault_batches").inc();
+        cnt_.gpu_fault_batches.inc();
         t += cfg_.gpu_fault_cost;
     }
     if (++*batch_fill >= cfg_.fault_batch_capacity)
         *batch_fill = 0;
-    counters_.counter("gpu_faulted_blocks").inc();
-    counters_.counter("gpu_faulted_pages").inc(faulting.count());
+    cnt_.gpu_faulted_blocks.inc();
+    cnt_.gpu_faulted_pages.inc(faulting.count());
     t += cfg_.gpu_fault_service + cfg_.gpu_fault_stall;
 
     PageMask missing = m & ~resident_here;
@@ -128,7 +128,7 @@ UvmDriver::gpuTouchBlock(VaBlock &block, const PageMask &m,
             }
             clearDiscarded(block, m);
             block.discarded_lazily &= ~m;
-            counters_.counter("oom_fallbacks").inc();
+            cnt_.oom_fallbacks.inc();
             if (observer_)
                 observer_->onFault(
                     FaultEvent::kOomFallback, block.base,
@@ -178,7 +178,7 @@ UvmDriver::hostAccess(mem::VirtAddr addr, sim::Bytes size,
         PageMask faulted = on_gpu | unpop | unmapped;
 
         if (faulted.any()) {
-            counters_.counter("cpu_fault_batches").inc();
+            cnt_.cpu_fault_batches.inc();
             t += cfg_.cpu_fault_cost;
         }
         if (unpop.any()) {
@@ -201,7 +201,7 @@ UvmDriver::hostAccess(mem::VirtAddr addr, sim::Bytes size,
 
         PageMask disc = m & b.discarded;
         if (disc.any() && writes(kind)) {
-            counters_.counter("lazy_contract_writes").inc();
+            cnt_.lazy_contract_writes.inc();
             if (cfg_.lazy_contract_warnings &&
                 (disc & b.discarded_lazily).any()) {
                 sim::warn("host writes lazily-discarded pages at " +

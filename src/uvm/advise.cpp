@@ -24,7 +24,7 @@ UvmDriver::memAdvise(mem::VirtAddr addr, sim::Bytes size,
     if (id < 0 || id >= 8)
         sim::fatal("memAdvise: GPU id out of range for the hint mask");
     std::uint8_t bit = static_cast<std::uint8_t>(1u << id);
-    counters_.counter("mem_advise_calls").inc();
+    cnt_.mem_advise_calls.inc();
 
     va_space_.forEachBlock(addr, size, [&](VaBlock &b,
                                            const PageMask &m) {
@@ -66,7 +66,7 @@ UvmDriver::remoteTouchBlock(VaBlock &block, const PageMask &m,
             cfg_.remote_access_migrate_threshold) {
         block.counter_migrated = true;
         block.remote_mapped = 0;
-        counters_.counter("access_counter_migrations").inc();
+        cnt_.access_counter_migrations.inc();
         t = migrateToGpu(block, m, id, TransferCause::kGpuFault, t);
         t = mapOnGpu(block, m, id, t, /*big_ok=*/m == block.valid);
         requeueAfterDiscardStateChange(block);
@@ -79,7 +79,7 @@ UvmDriver::remoteTouchBlock(VaBlock &block, const PageMask &m,
         // hardware without ATS, a TLB fill with it — charge the map
         // cost either way).
         block.remote_mapped |= bit;
-        counters_.counter("remote_mappings").inc();
+        cnt_.remote_mappings.inc();
         t += cfg_.gpu_map_cost;
     }
 
@@ -87,12 +87,12 @@ UvmDriver::remoteTouchBlock(VaBlock &block, const PageMask &m,
     // reads pull device-ward, writes push host-ward.
     sim::Bytes bytes = m.count() * mem::kSmallPageSize;
     if (reads(kind)) {
-        counters_.counter("remote_read_bytes").inc(bytes);
+        cnt_.remote_read_bytes.inc(bytes);
         t = xfer_->remoteAccess(
             id, bytes, interconnect::Direction::kHostToDevice, t);
     }
     if (writes(kind)) {
-        counters_.counter("remote_write_bytes").inc(bytes);
+        cnt_.remote_write_bytes.inc(bytes);
         t = xfer_->remoteAccess(
             id, bytes, interconnect::Direction::kDeviceToHost, t);
     }

@@ -23,9 +23,8 @@ sim::SimTime
 UvmDriver::discard(mem::VirtAddr addr, sim::Bytes size,
                    DiscardMode mode, sim::SimTime start)
 {
-    counters_
-        .counter(mode == DiscardMode::kEager ? "discard_calls_eager"
-                                             : "discard_calls_lazy")
+    (mode == DiscardMode::kEager ? cnt_.discard_calls_eager
+                                 : cnt_.discard_calls_lazy)
         .inc();
     sim::SimTime t = start;
     va_space_.forEachBlock(addr, size, [&](VaBlock &b,
@@ -35,7 +34,7 @@ UvmDriver::discard(mem::VirtAddr addr, sim::Bytes size,
             b.gpu_mapping_big) {
             // Honouring this partial discard would split the 2 MB GPU
             // mapping; skip it (Section 5.4).
-            counters_.counter("discard_ignored_partial").inc();
+            cnt_.discard_ignored_partial.inc();
             return;
         }
         t = discardBlock(b, m, mode, t);
@@ -55,7 +54,7 @@ UvmDriver::discardBlock(VaBlock &block, const PageMask &pages,
 
     if (observer_)
         observer_->onDiscard(block, target);
-    counters_.counter("discarded_pages").inc(target.count());
+    cnt_.discarded_pages.inc(target.count());
 
     if (mode == DiscardMode::kEager) {
         t = unmapFromGpu(block, target, t);

@@ -83,8 +83,8 @@ UvmDriver::gpu(GpuId id)
 mem::VirtAddr
 UvmDriver::allocManaged(sim::Bytes size, std::string name)
 {
-    counters_.counter("managed_allocs").inc();
-    counters_.counter("managed_bytes").inc(size);
+    cnt_.managed_allocs.inc();
+    cnt_.managed_bytes.inc(size);
     return va_space_.createRange(size, std::move(name));
 }
 
@@ -125,7 +125,7 @@ UvmDriver::tryFreeManaged(mem::VirtAddr base)
                 });
         }
     }
-    counters_.counter("managed_frees").inc();
+    cnt_.managed_frees.inc();
     va_space_.destroyRange(base);
     return true;
 }

@@ -52,6 +52,7 @@
 #include "sim/resource.hpp"
 #include "sim/stats.hpp"
 #include "uvm/config.hpp"
+#include "uvm/counters.hpp"
 #include "uvm/observer.hpp"
 #include "uvm/transfer_engine.hpp"
 #include "uvm/va_space.hpp"
@@ -493,6 +494,7 @@ class UvmDriver
     interconnect::Link peer_link_;
     mem::BackingStore backing_;
     sim::StatGroup counters_;
+    DriverCounters cnt_{counters_};
     TransferObserver *observer_ = nullptr;
     sim::ProgressSink *progress_sink_ = nullptr;
     std::uint64_t invariant_violations_ = 0;

@@ -46,7 +46,7 @@ UvmDriver::zeroGpuPages(VaBlock &block, const PageMask &pages,
 sim::SimTime
 UvmDriver::rezeroChunk(VaBlock &block, GpuId id, sim::SimTime start)
 {
-    counters_.counter("chunk_rezero_ops").inc();
+    cnt_.chunk_rezero_ops.inc();
     sim::SimTime t =
         start + gpu(id).zero_engine.zeroCost(mem::kBigPageSize);
     if (backing_.enabled()) {
@@ -176,7 +176,7 @@ UvmDriver::migrateGpuToGpu(VaBlock &block, const PageMask &pages,
     t = allocChunk(block, dst, t);
 
     if (live.any()) {
-        counters_.counter("gpu_to_gpu_migrations").inc();
+        cnt_.gpu_to_gpu_migrations.inc();
         if (cfg_.peer_enabled) {
             // Direct peer copy over the NVLink-class fabric.  The
             // auditor tracks the moved value like any other transfer

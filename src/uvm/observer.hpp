@@ -12,9 +12,8 @@
 #ifndef UVMD_UVM_OBSERVER_HPP
 #define UVMD_UVM_OBSERVER_HPP
 
-#include <vector>
-
 #include "interconnect/link.hpp"
+#include "sim/arena.hpp"
 #include "uvm/va_block.hpp"
 
 namespace uvmd::uvm {
@@ -159,12 +158,17 @@ class ObserverMux : public TransferObserver
     {
         if (obs)
             observers_.push_back(obs);
+        single_ = observers_.size() == 1 ? observers_[0] : nullptr;
     }
 
     void
     onTransfer(const VaBlock &block, const PageMask &pages,
                interconnect::Direction dir, TransferCause cause) override
     {
+        if (single_) {
+            single_->onTransfer(block, pages, dir, cause);
+            return;
+        }
         for (auto *o : observers_)
             o->onTransfer(block, pages, dir, cause);
     }
@@ -174,6 +178,10 @@ class ObserverMux : public TransferObserver
                       interconnect::Direction dir,
                       TransferCause cause) override
     {
+        if (single_) {
+            single_->onTransferSkipped(block, pages, dir, cause);
+            return;
+        }
         for (auto *o : observers_)
             o->onTransferSkipped(block, pages, dir, cause);
     }
@@ -182,6 +190,10 @@ class ObserverMux : public TransferObserver
     onAccess(const VaBlock &block, const PageMask &pages, bool is_read,
              bool is_write, ProcessorId where) override
     {
+        if (single_) {
+            single_->onAccess(block, pages, is_read, is_write, where);
+            return;
+        }
         for (auto *o : observers_)
             o->onAccess(block, pages, is_read, is_write, where);
     }
@@ -189,6 +201,10 @@ class ObserverMux : public TransferObserver
     void
     onDiscard(const VaBlock &block, const PageMask &pages) override
     {
+        if (single_) {
+            single_->onDiscard(block, pages);
+            return;
+        }
         for (auto *o : observers_)
             o->onDiscard(block, pages);
     }
@@ -196,6 +212,10 @@ class ObserverMux : public TransferObserver
     void
     onFree(const VaBlock &block, const PageMask &pages) override
     {
+        if (single_) {
+            single_->onFree(block, pages);
+            return;
+        }
         for (auto *o : observers_)
             o->onFree(block, pages);
     }
@@ -204,6 +224,10 @@ class ObserverMux : public TransferObserver
     onFault(FaultEvent event, mem::VirtAddr block_base,
             std::uint32_t pages) override
     {
+        if (single_) {
+            single_->onFault(event, block_base, pages);
+            return;
+        }
         for (auto *o : observers_)
             o->onFault(event, block_base, pages);
     }
@@ -212,6 +236,10 @@ class ObserverMux : public TransferObserver
     onMap(const VaBlock &block, const PageMask &pages,
           ProcessorId where) override
     {
+        if (single_) {
+            single_->onMap(block, pages, where);
+            return;
+        }
         for (auto *o : observers_)
             o->onMap(block, pages, where);
     }
@@ -220,6 +248,10 @@ class ObserverMux : public TransferObserver
     onUnmap(const VaBlock &block, const PageMask &pages,
             ProcessorId where) override
     {
+        if (single_) {
+            single_->onUnmap(block, pages, where);
+            return;
+        }
         for (auto *o : observers_)
             o->onUnmap(block, pages, where);
     }
@@ -228,6 +260,10 @@ class ObserverMux : public TransferObserver
     onDiscardStateChange(const VaBlock &block, const PageMask &pages,
                          bool discarded) override
     {
+        if (single_) {
+            single_->onDiscardStateChange(block, pages, discarded);
+            return;
+        }
         for (auto *o : observers_)
             o->onDiscardStateChange(block, pages, discarded);
     }
@@ -236,12 +272,20 @@ class ObserverMux : public TransferObserver
     onQueueMove(const VaBlock &block, mem::QueueKind from,
                 mem::QueueKind to) override
     {
+        if (single_) {
+            single_->onQueueMove(block, from, to);
+            return;
+        }
         for (auto *o : observers_)
             o->onQueueMove(block, from, to);
     }
 
   private:
-    std::vector<TransferObserver *> observers_;
+    sim::SmallVec<TransferObserver *, 4> observers_;
+    /** Non-null iff exactly one observer is attached: the overwhelmingly
+     *  common case (a harness plus at most a verifier) skips the
+     *  fan-out loop entirely. */
+    TransferObserver *single_ = nullptr;
 };
 
 }  // namespace uvmd::uvm

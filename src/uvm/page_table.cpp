@@ -29,7 +29,7 @@ UvmDriver::mapOnGpu(VaBlock &block, const PageMask &pages, GpuId id,
     // A block mapped in one shot covering all of its valid pages gets
     // a single 2 MB PTE (Section 5.4).
     block.gpu_mapping_big = big_ok && block.mapped_gpu == block.valid;
-    counters_.counter("gpu_map_ops").inc();
+    cnt_.gpu_map_ops.inc();
     if (observer_)
         observer_->onMap(block, to_map, ProcessorId::gpu(id));
     return start + cfg_.gpu_map_cost;
@@ -45,10 +45,10 @@ UvmDriver::unmapFromGpu(VaBlock &block, const PageMask &pages,
     block.mapped_gpu &= ~to_unmap;
     if (block.gpu_mapping_big && block.mapped_gpu.any()) {
         // Partial unmap of a big mapping splits it into 4 KB PTEs.
-        counters_.counter("gpu_mapping_splits").inc();
+        cnt_.gpu_mapping_splits.inc();
     }
     block.gpu_mapping_big = false;
-    counters_.counter("gpu_unmap_ops").inc();
+    cnt_.gpu_unmap_ops.inc();
     if (observer_)
         observer_->onUnmap(block, to_unmap,
                            ProcessorId::gpu(block.owner_gpu));
@@ -63,7 +63,7 @@ UvmDriver::mapOnCpu(VaBlock &block, const PageMask &pages,
     if (to_map.none())
         return start;
     block.mapped_cpu |= to_map;
-    counters_.counter("cpu_map_ops").inc();
+    cnt_.cpu_map_ops.inc();
     if (observer_)
         observer_->onMap(block, to_map, ProcessorId::cpu());
     return start + cfg_.cpu_map_cost;
@@ -77,7 +77,7 @@ UvmDriver::unmapFromCpu(VaBlock &block, const PageMask &pages,
     if (to_unmap.none())
         return start;
     block.mapped_cpu &= ~to_unmap;
-    counters_.counter("cpu_unmap_ops").inc();
+    cnt_.cpu_unmap_ops.inc();
     if (observer_)
         observer_->onUnmap(block, to_unmap, ProcessorId::cpu());
     return start + cfg_.cpu_unmap_cost;

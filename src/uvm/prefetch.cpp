@@ -25,7 +25,7 @@ UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
 {
     // Injected ECC chunk failures surface at driver entry points.
     sim::SimTime t = maybeInjectChunkFault(start);
-    counters_.counter("prefetch_calls").inc();
+    cnt_.prefetch_calls.inc();
 
     // One prefetch call is one transfer batch: runs spanning adjacent
     // blocks may coalesce into single DMA descriptors.
@@ -45,7 +45,7 @@ UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
                 try {
                     t = migrateToGpu(b, missing, id,
                                      TransferCause::kPrefetch, t);
-                    counters_.counter("prefetch_migrated_pages")
+                    cnt_.prefetch_migrated_pages
                         .inc(missing.count());
                 } catch (const GpuOomError &) {
                     // A prefetch is a hint: under the configured
@@ -55,7 +55,7 @@ UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
                     if (!cfg_.faults.oom_remote_fallback ||
                         b.has_gpu_chunk)
                         throw;
-                    counters_.counter("oom_fallbacks").inc();
+                    cnt_.oom_fallbacks.inc();
                     if (observer_)
                         observer_->onFault(
                             FaultEvent::kOomFallback, b.base,
@@ -68,7 +68,7 @@ UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
             // Re-arm resident pages that are still marked discarded.
             PageMask rearm = on_gpu & b.discarded;
             if (rearm.any()) {
-                counters_.counter("prefetch_rearmed_pages")
+                cnt_.prefetch_rearmed_pages
                     .inc(rearm.count());
                 if (!cfg_.track_fully_prepared || !b.fullyPrepared())
                     t = rezeroChunk(b, id, t);
@@ -95,7 +95,7 @@ UvmDriver::prefetch(mem::VirtAddr addr, sim::Bytes size,
                 // Pure recency update (Section 7.5.1: prefetches that
                 // neither transfer nor prefault still cost time).
                 t += cfg_.recency_touch_cost;
-                counters_.counter("prefetch_recency_only").inc();
+                cnt_.prefetch_recency_only.inc();
             }
 
             requeueAfterDiscardStateChange(b);

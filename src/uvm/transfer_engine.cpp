@@ -8,7 +8,7 @@ using interconnect::Direction;
 
 TransferEngine::TransferEngine(const UvmConfig &cfg,
                                sim::StatGroup &counters)
-    : cfg_(cfg), counters_(counters)
+    : cfg_(cfg), counters_(counters), ec_(counters)
 {}
 
 void
@@ -107,21 +107,21 @@ TransferEngine::submit(const TransferRequest &req, sim::SimTime start)
     if (injector_ && injector_->enabled()) {
         done = injectDmaRetries(
             sched, engine, req.dir, bytes, new_descriptors, done,
-            toString(req.cause), req.block->base,
+            *ec_.retries_by_cause[causeIndex(req.cause)],
+            req.block->base,
             static_cast<std::uint32_t>(req.pages.count()));
     }
 
     link.accountTraffic(bytes, req.dir);
-    counters_.counter("dma_descriptors").inc(new_descriptors);
+    ec_.dma_descriptors.inc(new_descriptors);
     if (merge)
-        counters_.counter("dma_descriptors_coalesced").inc();
+        ec_.dma_descriptors_coalesced.inc();
     if (req.peer) {
-        counters_.counter("bytes_d2d").inc(bytes);
+        ec_.bytes_d2d.inc(bytes);
     } else {
-        std::string key = req.dir == Direction::kHostToDevice
-                              ? "bytes_h2d."
-                              : "bytes_d2h.";
-        counters_.counter(key + toString(req.cause)).inc(bytes);
+        ec_.bytes[static_cast<std::size_t>(req.dir)]
+                 [causeIndex(req.cause)]
+            ->inc(bytes);
     }
     if (observer_)
         observer_->onTransfer(*req.block, req.pages, req.dir,
@@ -138,7 +138,8 @@ TransferEngine::injectDmaRetries(interconnect::DmaScheduler &sched,
                                  std::uint32_t engine, Direction dir,
                                  sim::Bytes bytes,
                                  std::uint32_t new_descriptors,
-                                 sim::SimTime done, const char *cause,
+                                 sim::SimTime done,
+                                 sim::Counter &cause_retries,
                                  mem::VirtAddr block_base,
                                  std::uint32_t pages)
 {
@@ -150,7 +151,7 @@ TransferEngine::injectDmaRetries(interconnect::DmaScheduler &sched,
     for (std::uint32_t d = 0; d < new_descriptors; ++d) {
         int attempt = 0;
         while (injector_->dmaDescriptorFails()) {
-            counters_.counter("fault_injected").inc();
+            ec_.fault_injected.inc();
             if (observer_)
                 observer_->onFault(FaultEvent::kDmaFault, block_base,
                                    pages);
@@ -163,10 +164,9 @@ TransferEngine::injectDmaRetries(interconnect::DmaScheduler &sched,
                 (sim::SimDuration{1} << attempt);
             sim::SimTime before = done;
             done = sched.retryOn(engine, dir, done + backoff, per_desc);
-            counters_.counter("transfer_retries").inc();
-            counters_.counter(std::string("transfer_retries.") + cause)
-                .inc();
-            counters_.counter("transfer_retry_ns").inc(done - before);
+            ec_.transfer_retries.inc();
+            cause_retries.inc();
+            ec_.transfer_retry_ns.inc(done - before);
             if (observer_)
                 observer_->onFault(FaultEvent::kDmaRetry, block_base,
                                    pages);
@@ -204,7 +204,7 @@ TransferEngine::applyLinkEvents(sim::SimTime now)
         if (ev.bandwidth_factor < 1.0) {
             sched.scaleBandwidth(ev.bandwidth_factor);
             applied.bandwidth_factor = ev.bandwidth_factor;
-            counters_.counter("fault_injected").inc();
+            ec_.fault_injected.inc();
             if (observer_)
                 observer_->onFault(FaultEvent::kLinkDegraded, 0, 0);
         }
@@ -217,7 +217,7 @@ TransferEngine::applyLinkEvents(sim::SimTime now)
                     now)) {
                 invalidateTail(link_idx, dir);
                 applied.offline_engine = ev.offline_engine;
-                counters_.counter("fault_injected").inc();
+                ec_.fault_injected.inc();
                 if (observer_)
                     observer_->onFault(FaultEvent::kEngineOffline, 0,
                                        0);
@@ -233,11 +233,11 @@ TransferEngine::skipped(const VaBlock &block, const PageMask &pages,
 {
     if (pages.none())
         return;
-    const char *key = peer ? "saved_d2d_bytes"
-                     : dir == Direction::kDeviceToHost
-                         ? "saved_d2h_bytes"
-                         : "saved_h2d_bytes";
-    counters_.counter(key).inc(mem::maskBytes(pages));
+    sim::Counter &saved = peer ? ec_.saved_d2d_bytes
+                          : dir == Direction::kDeviceToHost
+                              ? ec_.saved_d2h_bytes
+                              : ec_.saved_h2d_bytes;
+    saved.inc(mem::maskBytes(pages));
     if (observer_)
         observer_->onTransferSkipped(block, pages, dir, cause);
 }
@@ -259,7 +259,7 @@ TransferEngine::rawTransfer(GpuId gpu, sim::Bytes bytes,
     descriptors_issued_ += 1;
     if (injector_ && injector_->enabled()) {
         done = injectDmaRetries(sched, engine, dir, bytes, 1, done,
-                                "raw", 0, 0);
+                                *ec_.retries_raw, 0, 0);
         applyLinkEvents(done);
     }
     return done;

@@ -27,11 +27,12 @@
 #define UVMD_UVM_TRANSFER_ENGINE_HPP
 
 #include <array>
-#include <vector>
 
 #include "interconnect/link.hpp"
+#include "sim/arena.hpp"
 #include "sim/fault_injector.hpp"
 #include "uvm/config.hpp"
+#include "uvm/counters.hpp"
 #include "uvm/observer.hpp"
 #include "uvm/va_block.hpp"
 
@@ -158,7 +159,7 @@ class TransferEngine
                                   sim::Bytes bytes,
                                   std::uint32_t new_descriptors,
                                   sim::SimTime done,
-                                  const char *cause,
+                                  sim::Counter &cause_retries,
                                   mem::VirtAddr block_base,
                                   std::uint32_t pages);
 
@@ -168,14 +169,15 @@ class TransferEngine
 
     const UvmConfig &cfg_;
     sim::StatGroup &counters_;
-    std::vector<interconnect::Link *> gpu_links_;
+    EngineCounters ec_;
+    sim::SmallVec<interconnect::Link *, 4> gpu_links_;
     interconnect::Link *peer_link_ = nullptr;
     TransferObserver *observer_ = nullptr;
     sim::FaultInjector *injector_ = nullptr;
     std::uint64_t descriptors_issued_ = 0;
     int batch_depth_ = 0;
     /** Indexed by [linkIndex][direction]; last slot is the peer. */
-    std::vector<std::array<Tail, 2>> tails_;
+    sim::SmallVec<std::array<Tail, 2>, 5> tails_;
 };
 
 }  // namespace uvmd::uvm

@@ -18,15 +18,22 @@ VaSpace::createRange(sim::Bytes size, std::string name)
     VaRange range{id, base, size, std::move(name), {}};
     std::size_t nblocks = span / mem::kBigPageSize;
     range.blocks.reserve(nblocks);
+    // Keys are monotonic (bump allocator), so the dense index only
+    // ever grows at the tail; the guard gap becomes a nullptr hole.
+    std::uint64_t last_key =
+        (base + (nblocks - 1) * mem::kBigPageSize) / mem::kBigPageSize;
+    if (last_key - kFirstKey >= block_index_.size())
+        block_index_.resize(last_key - kFirstKey + 1, nullptr);
     for (std::size_t i = 0; i < nblocks; ++i) {
-        auto block = std::make_unique<VaBlock>();
+        VaBlock *block = arena_.create();
         block->base = base + i * mem::kBigPageSize;
         block->range_id = id;
         block->valid = maskForRange(block->base, base, size);
-        block_index_.emplace(block->base / mem::kBigPageSize,
-                             block.get());
-        range.blocks.push_back(std::move(block));
+        block_index_[block->base / mem::kBigPageSize - kFirstKey] =
+            block;
+        range.blocks.push_back(block);
     }
+    live_blocks_ += nblocks;
     range_by_base_.emplace(base, id);
     ranges_.emplace(id, std::move(range));
     return base;
@@ -39,8 +46,13 @@ VaSpace::destroyRange(mem::VirtAddr base)
     if (bit == range_by_base_.end())
         sim::fatal("VaSpace::destroyRange: unknown base address");
     auto rit = ranges_.find(bit->second);
-    for (const auto &block : rit->second.blocks)
-        block_index_.erase(block->base / mem::kBigPageSize);
+    for (VaBlock *block : rit->second.blocks) {
+        block_index_[block->base / mem::kBigPageSize - kFirstKey] =
+            nullptr;
+        arena_.destroy(block);
+    }
+    live_blocks_ -= rit->second.blocks.size();
+    cached_block_ = nullptr;
     ranges_.erase(rit);
     range_by_base_.erase(bit);
 }
@@ -53,13 +65,6 @@ VaSpace::rangeOf(mem::VirtAddr addr)
         return nullptr;
     auto it = ranges_.find(block->range_id);
     return it == ranges_.end() ? nullptr : &it->second;
-}
-
-VaBlock *
-VaSpace::blockOf(mem::VirtAddr addr)
-{
-    auto it = block_index_.find(addr / mem::kBigPageSize);
-    return it == block_index_.end() ? nullptr : it->second;
 }
 
 void
@@ -88,7 +93,7 @@ void
 VaSpace::forEachBlockAll(sim::FunctionRef<void(VaBlock &)> fn)
 {
     for (auto &kv : ranges_) {
-        for (auto &block : kv.second.blocks)
+        for (VaBlock *block : kv.second.blocks)
             fn(*block);
     }
 }

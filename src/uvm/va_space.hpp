@@ -4,19 +4,25 @@
  *
  * Managed allocations receive 2 MB-aligned virtual addresses from a
  * bump allocator (the simulation never reuses virtual addresses, which
- * keeps auditing unambiguous).  Each range owns its va_blocks; lookup
- * by address is O(1) via a block-index map.
+ * keeps auditing unambiguous).  Because the bump allocator hands out
+ * dense, monotonically increasing addresses, `addr / 2MB` is a dense
+ * monotonic key: block lookup is a direct vector index (plus a
+ * last-block cache for same-block streaks), not a hash probe.  Guard
+ * gaps and destroyed ranges are nullptr holes in the index.  The
+ * blocks themselves are slab-allocated from a sim::Arena, so range
+ * creation costs one allocation per 64 blocks and destroyed blocks
+ * recycle their slots.
  */
 
 #ifndef UVMD_UVM_VA_SPACE_HPP
 #define UVMD_UVM_VA_SPACE_HPP
 
 #include <map>
-#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/function.hpp"
 #include "uvm/va_block.hpp"
 
@@ -27,7 +33,8 @@ struct VaRange {
     mem::VirtAddr base;
     sim::Bytes size;
     std::string name;
-    std::vector<std::unique_ptr<VaBlock>> blocks;
+    /** Arena-owned; destroyed with the range. */
+    std::vector<VaBlock *> blocks;
 };
 
 class VaSpace
@@ -49,7 +56,27 @@ class VaSpace
     VaRange *rangeOf(mem::VirtAddr addr);
 
     /** Block containing @p addr, or nullptr if unmanaged. */
-    VaBlock *blockOf(mem::VirtAddr addr);
+    VaBlock *
+    blockOf(mem::VirtAddr addr)
+    {
+        // Same-block streaks (kernel access walks, poke/peek loops)
+        // hit the one-entry cache; the subtraction is wrap-safe, so a
+        // single unsigned compare covers the "addr below cached base"
+        // case too.
+        if (cached_block_ &&
+            addr - cached_block_->base < mem::kBigPageSize)
+            return cached_block_;
+        // Addresses below the VA base underflow to a huge index and
+        // fall out of the bounds check; guard gaps and destroyed
+        // ranges are nullptr holes.
+        std::uint64_t idx = addr / mem::kBigPageSize - kFirstKey;
+        if (idx >= block_index_.size())
+            return nullptr;
+        VaBlock *block = block_index_[idx];
+        if (block)
+            cached_block_ = block;
+        return block;
+    }
 
     /**
      * Invoke @p fn for every block overlapping [addr, addr+size),
@@ -71,9 +98,13 @@ class VaSpace
     void forEachBlockAll(sim::FunctionRef<void(VaBlock &)> fn);
 
     std::size_t rangeCount() const { return ranges_.size(); }
-    std::size_t blockCount() const { return block_index_.size(); }
+    std::size_t blockCount() const { return live_blocks_; }
 
   private:
+    /** Dense-index key of the first possible block (the VA base). */
+    static constexpr std::uint64_t kFirstKey =
+        (mem::VirtAddr{1} << 40) / mem::kBigPageSize;
+
     std::uint32_t next_range_id_ = 1;
     // Leave a guard gap between ranges so off-by-one accesses fault
     // loudly instead of touching a neighbouring allocation.
@@ -84,7 +115,14 @@ class VaSpace
     // invariant dumps.
     std::map<std::uint32_t, VaRange> ranges_;
     std::unordered_map<mem::VirtAddr, std::uint32_t> range_by_base_;
-    std::unordered_map<std::uint64_t, VaBlock *> block_index_;
+    /** Dense block index: slot i covers the 2 MB page at key
+     *  kFirstKey + i.  Grows with the bump allocator's high-water
+     *  mark; holes are nullptr. */
+    std::vector<VaBlock *> block_index_;
+    std::uint64_t live_blocks_ = 0;
+    /** One-entry lookup cache; reset on destroyRange. */
+    VaBlock *cached_block_ = nullptr;
+    sim::Arena<VaBlock> arena_;
 };
 
 }  // namespace uvmd::uvm

@@ -170,7 +170,7 @@ TEST(Chaos, RandomFaultSchedulesPreserveDataAndInvariants)
 
         std::uint64_t log_faults = 0, log_retries = 0,
                       log_retirements = 0, log_fallbacks = 0;
-        for (const auto &e : log.entries()) {
+        log.forEach([&](const trace::TransferLog::Entry &e) {
             switch (e.event) {
               case trace::TransferLog::Event::kFault:
                 ++log_faults;
@@ -187,7 +187,7 @@ TEST(Chaos, RandomFaultSchedulesPreserveDataAndInvariants)
               default:
                 break;
             }
-        }
+        });
         // Every fault_injected increment produced exactly one fault or
         // retirement log entry.
         EXPECT_EQ(log_faults + log_retirements,

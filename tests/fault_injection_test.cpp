@@ -212,12 +212,12 @@ TEST(DmaFaults, FaultAndRetryEventsReachTheTransferLog)
     t = drv.prefetch(a, 4 * kBigPageSize, ProcessorId::gpu(0), t);
 
     std::size_t faults = 0, retries = 0;
-    for (const auto &e : log.entries()) {
+    log.forEach([&](const trace::TransferLog::Entry &e) {
         if (e.event == trace::TransferLog::Event::kFault)
             ++faults;
         if (e.event == trace::TransferLog::Event::kRetry)
             ++retries;
-    }
+    });
     EXPECT_GT(faults, 0u);
     EXPECT_EQ(faults, drv.counters().get("fault_injected"));
     EXPECT_EQ(retries, drv.counters().get("transfer_retries"));
@@ -289,12 +289,12 @@ TEST(ChunkRetirement, RetirementEventsReachTheTransferLog)
     t = drv.gpuAccess(0, rw(a, kBigPageSize), t);
 
     std::size_t retirements = 0;
-    for (const auto &e : log.entries()) {
+    log.forEach([&](const trace::TransferLog::Entry &e) {
         if (e.event == trace::TransferLog::Event::kRetirement) {
             ++retirements;
             EXPECT_EQ(e.pages, mem::kPagesPerBlock);
         }
-    }
+    });
     EXPECT_EQ(retirements, drv.allocator(0).retiredChunks());
     EXPECT_GT(retirements, 0u);
 }

@@ -76,15 +76,15 @@ TEST_F(TraceLogTest, RecordsTransferSequence)
     drv_.freeManaged(a);
 
     ASSERT_EQ(log_.size(), 3u);
-    EXPECT_EQ(log_.entries()[0].event, TransferLog::Event::kTransfer);
-    EXPECT_EQ(log_.entries()[0].dir,
+    EXPECT_EQ(log_.entry(0).event, TransferLog::Event::kTransfer);
+    EXPECT_EQ(log_.entry(0).dir,
               interconnect::Direction::kHostToDevice);
-    EXPECT_EQ(log_.entries()[0].cause, uvm::TransferCause::kPrefetch);
-    EXPECT_EQ(log_.entries()[0].pages, 512u);
-    EXPECT_EQ(log_.entries()[1].event, TransferLog::Event::kDiscard);
-    EXPECT_EQ(log_.entries()[2].event, TransferLog::Event::kFree);
+    EXPECT_EQ(log_.entry(0).cause, uvm::TransferCause::kPrefetch);
+    EXPECT_EQ(log_.entry(0).pages, 512u);
+    EXPECT_EQ(log_.entry(1).event, TransferLog::Event::kDiscard);
+    EXPECT_EQ(log_.entry(2).event, TransferLog::Event::kFree);
     // Ordinals are strictly increasing.
-    EXPECT_LT(log_.entries()[0].ordinal, log_.entries()[1].ordinal);
+    EXPECT_LT(log_.entry(0).ordinal, log_.entry(1).ordinal);
 }
 
 TEST_F(TraceLogTest, RecordsSkipsAndFilters)
@@ -151,9 +151,41 @@ TEST(TraceLogAccesses, OptInAccessLogging)
     mem::VirtAddr a = drv.allocManaged(kBigPageSize, "a");
     drv.hostAccess(a, kBigPageSize, AccessKind::kWrite, 0);
     bool saw_access = false;
-    for (const auto &e : log.entries())
+    log.forEach([&](const TransferLog::Entry &e) {
         saw_access |= e.event == TransferLog::Event::kAccess;
+    });
     EXPECT_TRUE(saw_access);
+}
+
+// The chunked store must behave exactly like the flat vector it
+// replaced: ordered entries across chunk boundaries, and chunk reuse
+// after clear().
+TEST(TraceLogChunks, SpansChunksAndSurvivesClear)
+{
+    TransferLog log;
+    const std::size_t n = TransferLog::kChunkEntries * 2 + 37;
+    for (std::size_t i = 0; i < n; ++i) {
+        log.onFault(uvm::FaultEvent::kDmaFault,
+                    mem::VirtAddr{i * mem::kBigPageSize}, 1);
+    }
+    ASSERT_EQ(log.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(log.entry(i).ordinal, i);
+        EXPECT_EQ(log.entry(i).block_base, i * mem::kBigPageSize);
+    }
+    std::size_t visited = 0;
+    log.forEach([&](const TransferLog::Entry &e) {
+        EXPECT_EQ(e.ordinal, visited);
+        ++visited;
+    });
+    EXPECT_EQ(visited, n);
+
+    log.clear();
+    EXPECT_EQ(log.size(), 0u);
+    log.onFault(uvm::FaultEvent::kDmaFault, 0, 1);
+    ASSERT_EQ(log.size(), 1u);
+    // Ordinals keep counting across clear(), as before.
+    EXPECT_EQ(log.entry(0).ordinal, n);
 }
 
 }  // namespace

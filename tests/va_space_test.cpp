@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+#include <vector>
+
 #include "sim/logging.hpp"
+#include "sim/random.hpp"
 #include "uvm/va_space.hpp"
 
 namespace uvmd::uvm {
@@ -149,6 +153,97 @@ TEST(VaSpace, ZeroSizeIsFatal)
 {
     VaSpace vs;
     EXPECT_THROW(vs.createRange(0, "zero"), sim::FatalError);
+}
+
+// The dense index + last-block cache must agree with the hash map it
+// replaced, over randomized create/destroy/lookup sequences that hit
+// live blocks, destroyed ranges, guard gaps, addresses below the VA
+// base, and addresses past the bump allocator's high-water mark.
+TEST(VaSpaceProperty, DenseIndexMatchesHashMapReference)
+{
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        sim::Rng rng(seed);
+        VaSpace vs;
+        // Reference model: the pre-dense-index representation.
+        std::unordered_map<std::uint64_t, mem::VirtAddr> ref_blocks;
+        struct LiveRange {
+            mem::VirtAddr base;
+            std::vector<std::uint64_t> keys;
+        };
+        std::vector<LiveRange> live;
+        std::vector<mem::VirtAddr> dead_bases;
+        mem::VirtAddr high_water = mem::VirtAddr{1} << 40;
+        std::uint64_t ref_count = 0;
+
+        auto probe = [&](mem::VirtAddr addr) {
+            VaBlock *got = vs.blockOf(addr);
+            auto it = ref_blocks.find(addr / mem::kBigPageSize);
+            if (it == ref_blocks.end()) {
+                EXPECT_EQ(got, nullptr) << "seed " << seed;
+            } else {
+                ASSERT_NE(got, nullptr) << "seed " << seed;
+                EXPECT_EQ(got->base, it->second) << "seed " << seed;
+            }
+        };
+
+        for (int op = 0; op < 400; ++op) {
+            double roll = rng.uniform();
+            if (roll < 0.30 || live.empty()) {
+                sim::Bytes size =
+                    rng.range(1, 6 * mem::kBigPageSize);
+                mem::VirtAddr base = vs.createRange(size, "r");
+                LiveRange lr{base, {}};
+                sim::Bytes span =
+                    mem::alignUp(size, mem::kBigPageSize);
+                for (mem::VirtAddr a = base; a < base + span;
+                     a += mem::kBigPageSize) {
+                    lr.keys.push_back(a / mem::kBigPageSize);
+                    ref_blocks.emplace(a / mem::kBigPageSize, a);
+                    ++ref_count;
+                }
+                high_water = base + span;
+                live.push_back(std::move(lr));
+            } else if (roll < 0.45) {
+                std::size_t victim = rng.below(live.size());
+                for (std::uint64_t key : live[victim].keys) {
+                    ref_blocks.erase(key);
+                    --ref_count;
+                }
+                dead_bases.push_back(live[victim].base);
+                vs.destroyRange(live[victim].base);
+                live.erase(live.begin() + victim);
+            } else {
+                // A burst of lookups so the cache sees same-block
+                // streaks and cross-block jumps.
+                for (int i = 0; i < 8; ++i) {
+                    double where = rng.uniform();
+                    mem::VirtAddr addr;
+                    if (where < 0.55 && !live.empty()) {
+                        const LiveRange &lr =
+                            live[rng.below(live.size())];
+                        addr = lr.keys[rng.below(lr.keys.size())] *
+                                   mem::kBigPageSize +
+                               rng.below(mem::kBigPageSize);
+                    } else if (where < 0.75 && !dead_bases.empty()) {
+                        addr = dead_bases[rng.below(
+                                   dead_bases.size())] +
+                               rng.below(2 * mem::kBigPageSize);
+                    } else if (where < 0.9) {
+                        // Past the high-water mark (beyond the dense
+                        // index tail).
+                        addr = high_water +
+                               rng.below(16 * mem::kBigPageSize);
+                    } else {
+                        // Below the VA base: the index computation
+                        // underflows and must still miss.
+                        addr = rng.below(mem::VirtAddr{1} << 40);
+                    }
+                    probe(addr);
+                }
+            }
+            ASSERT_EQ(vs.blockCount(), ref_count) << "seed " << seed;
+        }
+    }
 }
 
 }  // namespace
